@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared glue for the experiment harnesses: run-length control via
+ * the MCDSIM_INSTS environment variable, suite listing, and table
+ * formatting helpers. Each harness regenerates one table or figure
+ * of the paper (see DESIGN.md's experiment index and EXPERIMENTS.md
+ * for paper-vs-measured records).
+ */
+
+#ifndef MCDSIM_BENCH_BENCH_COMMON_HH
+#define MCDSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/mcdsim.hh"
+
+namespace mcdbench
+{
+
+/** Instructions per run: MCDSIM_INSTS overrides the default. */
+inline std::uint64_t
+runLength(std::uint64_t def = 600000)
+{
+    if (const char *env = std::getenv("MCDSIM_INSTS")) {
+        const auto v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return def;
+}
+
+/** All benchmark names, in suite order. */
+inline std::vector<std::string>
+allBenchmarks()
+{
+    std::vector<std::string> names;
+    for (const auto &b : mcd::benchmarkList())
+        names.push_back(b.name);
+    return names;
+}
+
+/** Benchmarks designed to land in the fast-varying group. */
+inline std::vector<std::string>
+fastVaryingBenchmarks()
+{
+    std::vector<std::string> names;
+    for (const auto &b : mcd::benchmarkList()) {
+        if (b.expectedFastVarying)
+            names.push_back(b.name);
+    }
+    return names;
+}
+
+/** Print a horizontal rule sized for the standard tables. */
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Print a experiment banner. */
+inline void
+banner(const char *id, const char *title)
+{
+    rule();
+    std::printf("%s | %s\n", id, title);
+    rule();
+}
+
+/** Percent formatting: +x.xx. */
+inline double
+pct(double frac)
+{
+    return frac * 100.0;
+}
+
+} // namespace mcdbench
+
+#endif // MCDSIM_BENCH_BENCH_COMMON_HH

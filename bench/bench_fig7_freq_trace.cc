@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 7 reproduction: frequency settings chosen by the adaptive
+ * controller in the FP clock domain for epic-decode. The paper's
+ * trace shows the FP frequency pinned at f_min through the empty-
+ * queue stretches, a modest recovery for the first non-empty phase,
+ * and a fast rise to f_max for the dramatic late burst. We print the
+ * trace as instruction-indexed buckets plus an ASCII strip chart.
+ */
+
+#include "bench_common.hh"
+
+using namespace mcd;
+
+int
+main()
+{
+    mcdbench::banner("FIGURE 7",
+                     "epic_decode FP-domain frequency trace (adaptive)");
+
+    RunOptions opts;
+    opts.instructions = mcdbench::runLength(1000000);
+    opts.recordTraces = true;
+    const SimResult r =
+        runBenchmark("epic_decode", ControllerKind::Adaptive, opts);
+
+    const std::size_t buckets = 60;
+    const auto freq = r.fpFreqTrace.bucketMeans(buckets);
+    const auto queue = r.fpQueueTrace.bucketMeans(buckets);
+
+    std::printf("%8s  %10s  %8s  %s\n", "time%", "fp-GHz", "fp-queue",
+                "0.25                                    1.0");
+    mcdbench::rule(96);
+    for (std::size_t i = 0; i < freq.size(); ++i) {
+        const int bars = static_cast<int>((freq[i] - 0.25) / 0.75 * 40);
+        std::printf("%7.1f%%  %10.3f  %8.1f  |",
+                    100.0 * static_cast<double>(i) / buckets, freq[i],
+                    queue[i]);
+        for (int b = 0; b < bars; ++b)
+            std::putchar('#');
+        std::putchar('\n');
+    }
+    mcdbench::rule(96);
+
+    double fmin = 2.0, fmax = 0.0;
+    for (double f : freq) {
+        fmin = std::min(fmin, f);
+        fmax = std::max(fmax, f);
+    }
+    std::printf("FP frequency range visited: %.3f - %.3f GHz\n", fmin,
+                fmax);
+    std::printf("FP transitions: %llu; controller actions up/down: "
+                "%llu/%llu\n",
+                static_cast<unsigned long long>(r.domains[1].transitions),
+                static_cast<unsigned long long>(
+                    r.domains[1].controllerStats.actionsUp),
+                static_cast<unsigned long long>(
+                    r.domains[1].controllerStats.actionsDown));
+    std::printf("Paper shape: f_min floors in empty-FP phases, modest "
+                "mid-run recovery,\nfull-speed burst near the end -> %s\n",
+                (fmin < 0.3 && fmax > 0.9) ? "REPRODUCED" : "CHECK");
+    return 0;
+}

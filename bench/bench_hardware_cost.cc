@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Hardware-cost comparison (paper Section 3, Figure 5): the adaptive
+ * scheme's per-domain decision logic versus the fixed-interval
+ * schemes', in storage bits and gate equivalents. The paper argues
+ * the adaptive logic is "much smaller and cheaper" because the
+ * fixed-interval schemes additionally compute a new setting each
+ * interval (multipliers / lookup tables for the PID).
+ */
+
+#include "bench_common.hh"
+
+using namespace mcd;
+
+namespace
+{
+
+void
+printCost(const HardwareCost &hw)
+{
+    std::printf("%s decision logic (per controlled domain):\n",
+                hw.scheme.c_str());
+    std::printf("  %-34s %5s %10s %8s\n", "block", "x", "state-bits",
+                "GE");
+    for (const auto &b : hw.blocks) {
+        std::printf("  %-34s %5u %10u %8u\n", b.name.c_str(), b.count,
+                    b.stateBits, b.gateEquivalents);
+    }
+    std::printf("  %-34s %5s %10u %8u\n\n", "TOTAL", "",
+                hw.totalStateBits(), hw.totalGateEquivalents());
+}
+
+} // namespace
+
+int
+main()
+{
+    mcdbench::banner("HARDWARE COST",
+                     "Decision-logic cost per scheme (Figure 5)");
+
+    const HardwareCost adaptive = adaptiveHardware();
+    const HardwareCost pid = pidHardware();
+    const HardwareCost attack = attackDecayHardware();
+
+    printCost(adaptive);
+    printCost(pid);
+    printCost(attack);
+
+    mcdbench::rule();
+    const double vs_pid =
+        static_cast<double>(pid.totalGateEquivalents()) /
+        static_cast<double>(adaptive.totalGateEquivalents());
+    const double vs_attack =
+        static_cast<double>(attack.totalGateEquivalents()) /
+        static_cast<double>(adaptive.totalGateEquivalents());
+    std::printf("gate-equivalent ratio: PID/adaptive = %.2fx, "
+                "attack-decay/adaptive = %.2fx\n",
+                vs_pid, vs_attack);
+    std::printf("paper claim: adaptive book-keeping is in the same "
+                "order as the fixed-interval\nschemes', but avoids "
+                "their per-interval arithmetic (multipliers) -> %s\n",
+                vs_pid > 1.5 ? "REPRODUCED" : "CHECK");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shorter-interval comparison reproduction (the paper's closing
+ * experiment, reconstructed): rerun the fixed-interval PID scheme of
+ * [23] with progressively shorter control intervals on the
+ * fast-varying group. Shorter intervals help it react sooner, but the
+ * decision still waits for the boundary and averages away
+ * intra-interval swings, so it should approach — yet not beat — the
+ * adaptive scheme, while ever-shorter intervals eventually hurt
+ * (noisy averages, more wrong moves).
+ */
+
+#include "bench_common.hh"
+
+using namespace mcd;
+
+int
+main()
+{
+    mcdbench::banner("INTERVAL SENSITIVITY",
+                     "PID [23] with shorter intervals vs adaptive");
+
+    RunOptions opts;
+    opts.instructions = mcdbench::runLength();
+
+    const auto group = mcdbench::fastVaryingBenchmarks();
+    // Intervals in sampling periods: 10 us down to 0.625 us.
+    const std::uint32_t intervals[] = {2500, 1250, 625, 312, 156};
+
+    std::printf("fast-varying group: ");
+    for (const auto &n : group)
+        std::printf("%s ", n.c_str());
+    std::printf("\n\n%-22s %8s %8s %8s\n", "scheme", "E-sav%", "P-deg%",
+                "EDP+%");
+    mcdbench::rule(52);
+
+    // Adaptive reference.
+    double ae = 0, ap = 0, aedp = 0;
+    std::vector<SimResult> bases;
+    for (const auto &name : group) {
+        bases.push_back(runMcdBaseline(name, opts));
+        const SimResult r =
+            runBenchmark(name, ControllerKind::Adaptive, opts);
+        const Comparison c = compare(r, bases.back());
+        ae += c.energySavings;
+        ap += c.perfDegradation;
+        aedp += c.edpImprovement;
+    }
+    const double n = static_cast<double>(group.size());
+    std::printf("%-22s %8.1f %8.1f %8.1f\n", "adaptive",
+                mcdbench::pct(ae / n), mcdbench::pct(ap / n),
+                mcdbench::pct(aedp / n));
+
+    double best_pid_edp = -1e9;
+    for (std::uint32_t interval : intervals) {
+        double e = 0, p = 0, edp = 0;
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            RunOptions o = opts;
+            o.config.pid.intervalSamples = interval;
+            const SimResult r =
+                runBenchmark(group[i], ControllerKind::Pid, o);
+            const Comparison c = compare(r, bases[i]);
+            e += c.energySavings;
+            p += c.perfDegradation;
+            edp += c.edpImprovement;
+        }
+        char label[64];
+        std::snprintf(label, sizeof(label), "pid @ %u sp (%.2f us)",
+                      interval, interval * 4e-3);
+        std::printf("%-22s %8.1f %8.1f %8.1f\n", label,
+                    mcdbench::pct(e / n), mcdbench::pct(p / n),
+                    mcdbench::pct(edp / n));
+        best_pid_edp = std::max(best_pid_edp, edp / n);
+        std::fflush(stdout);
+    }
+
+    mcdbench::rule(52);
+    std::printf("adaptive EDP %.1f%% vs best fixed-interval %.1f%% -> "
+                "%s\n",
+                mcdbench::pct(aedp / n), mcdbench::pct(best_pid_edp),
+                aedp / n >= best_pid_edp
+                    ? "adaptive holds its lead (paper conclusion)"
+                    : "CHECK");
+    return 0;
+}

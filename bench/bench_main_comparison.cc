@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Main evaluation reproduction (the paper's per-benchmark energy /
+ * performance comparison; reconstructed from the abstract's headline
+ * numbers since the supplied text truncates mid-Section 5):
+ *
+ *   for every benchmark, energy savings and performance degradation
+ *   of the adaptive scheme vs the fixed-interval PID of [23] and the
+ *   attack/decay scheme of [9], normalized to the full-speed MCD
+ *   baseline. Expected: ~9% average savings at ~3% degradation for
+ *   the adaptive scheme, close to the best fixed-interval result.
+ *
+ * The synchronous-processor overhead (MCD baseline vs single-clock
+ * chip) is reported separately at the end, matching how the MCD
+ * papers account for it.
+ */
+
+#include "bench_common.hh"
+
+using namespace mcd;
+
+int
+main()
+{
+    mcdbench::banner("MAIN COMPARISON",
+                     "Energy savings / performance degradation vs "
+                     "MCD full-speed baseline");
+
+    RunOptions opts;
+    opts.instructions = mcdbench::runLength();
+    std::printf("(instructions per run: %llu; set MCDSIM_INSTS to "
+                "change)\n\n",
+                static_cast<unsigned long long>(opts.instructions));
+
+    const std::vector<ControllerKind> kinds = {
+        ControllerKind::Adaptive, ControllerKind::Pid,
+        ControllerKind::AttackDecay};
+
+    std::printf("%-12s | %21s | %21s | %21s\n", "",
+                "adaptive (this paper)", "PID [23]", "attack/decay [9]");
+    std::printf("%-12s | %6s %6s %7s | %6s %6s %7s | %6s %6s %7s\n",
+                "benchmark", "E-sav%", "P-deg%", "EDP+%", "E-sav%",
+                "P-deg%", "EDP+%", "E-sav%", "P-deg%", "EDP+%");
+    mcdbench::rule(84);
+
+    struct Avg
+    {
+        double e = 0, p = 0, edp = 0;
+    };
+    Avg avgs[3];
+    double sync_overhead = 0.0;
+    int n = 0;
+
+    for (const auto &info : benchmarkList()) {
+        const SimResult base = runMcdBaseline(info.name, opts);
+        const SimResult sync = runSynchronousBaseline(info.name, opts);
+        sync_overhead += static_cast<double>(base.wallTicks) /
+                             static_cast<double>(sync.wallTicks) -
+                         1.0;
+
+        std::printf("%-12s |", info.name.c_str());
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            const SimResult r = runBenchmark(info.name, kinds[k], opts);
+            const Comparison c = compare(r, base);
+            std::printf(" %6.1f %6.1f %7.1f |", mcdbench::pct(c.energySavings),
+                        mcdbench::pct(c.perfDegradation),
+                        mcdbench::pct(c.edpImprovement));
+            avgs[k].e += c.energySavings;
+            avgs[k].p += c.perfDegradation;
+            avgs[k].edp += c.edpImprovement;
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+        ++n;
+    }
+
+    mcdbench::rule(84);
+    std::printf("%-12s |", "AVERAGE");
+    for (auto &a : avgs) {
+        std::printf(" %6.1f %6.1f %7.1f |", mcdbench::pct(a.e / n),
+                    mcdbench::pct(a.p / n), mcdbench::pct(a.edp / n));
+    }
+    std::printf("\n\n");
+    std::printf("paper headline: adaptive ~9%% energy savings at ~3%% "
+                "degradation,\n  close to the best fixed-interval "
+                "scheme -> measured %.1f%% / %.1f%%\n",
+                mcdbench::pct(avgs[0].e / n), mcdbench::pct(avgs[0].p / n));
+    std::printf("MCD substrate overhead vs synchronous chip (no DVFS): "
+                "%.1f%% average slowdown\n",
+                mcdbench::pct(sync_overhead / n));
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: cost of the controller decision
+ * paths (the paper argues the adaptive decision logic is simple and
+ * cheap — Section 3's hardware discussion), plus simulator and FFT
+ * throughput for harness-scaling estimates.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/mcdsim.hh"
+
+namespace
+{
+
+using namespace mcd;
+
+void
+BM_SignalFsmSample(benchmark::State &state)
+{
+    SignalFsm fsm;
+    double q = 0.0;
+    for (auto _ : state) {
+        q = q > 10.0 ? 0.0 : q + 0.5;
+        benchmark::DoNotOptimize(fsm.sample(q - 6.0, 0.8));
+    }
+}
+BENCHMARK(BM_SignalFsmSample);
+
+void
+BM_AdaptiveControllerSample(benchmark::State &state)
+{
+    VfCurve vf;
+    AdaptiveController ctrl(vf, AdaptiveController::Config{});
+    Hertz f = 800e6;
+    double q = 0.0;
+    for (auto _ : state) {
+        q = q > 14.0 ? 0.0 : q + 0.25;
+        const auto d = ctrl.sample(q, f, false);
+        if (d.change)
+            f = d.targetHz;
+        benchmark::DoNotOptimize(f);
+    }
+}
+BENCHMARK(BM_AdaptiveControllerSample);
+
+void
+BM_PidControllerSample(benchmark::State &state)
+{
+    VfCurve vf;
+    PidController ctrl(vf, PidController::Config{});
+    Hertz f = 800e6;
+    double q = 0.0;
+    for (auto _ : state) {
+        q = q > 14.0 ? 0.0 : q + 0.25;
+        const auto d = ctrl.sample(q, f, false);
+        if (d.change)
+            f = d.targetHz;
+        benchmark::DoNotOptimize(f);
+    }
+}
+BENCHMARK(BM_PidControllerSample);
+
+void
+BM_AttackDecaySample(benchmark::State &state)
+{
+    VfCurve vf;
+    AttackDecayController ctrl(vf, AttackDecayController::Config{});
+    Hertz f = 800e6;
+    double q = 0.0;
+    for (auto _ : state) {
+        q = q > 14.0 ? 0.0 : q + 0.25;
+        const auto d = ctrl.sample(q, f, false);
+        if (d.change)
+            f = d.targetHz;
+        benchmark::DoNotOptimize(f);
+    }
+}
+BENCHMARK(BM_AttackDecaySample);
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    BranchPredictor bp;
+    Addr pc = 0x4000;
+    int i = 0;
+    for (auto _ : state) {
+        pc = 0x4000 + (i % 64) * 4;
+        const auto pred = bp.predict(pc);
+        benchmark::DoNotOptimize(pred);
+        bp.update(pc, i % 7 != 6, pc - 64);
+        ++i;
+    }
+}
+BENCHMARK(BM_BranchPredictor);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(Cache::Config{"bench", 64, 2, 64});
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(rng.below(1 << 20)));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_SimulatedInstructionThroughput(benchmark::State &state)
+{
+    // Whole-simulator throughput: simulated instructions per second.
+    for (auto _ : state) {
+        auto src = makeBenchmark("adpcm_enc", 20000, 1);
+        SimConfig cfg;
+        cfg.controller = ControllerKind::Adaptive;
+        McdProcessor proc(cfg, *src);
+        benchmark::DoNotOptimize(proc.run());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 20000);
+}
+BENCHMARK(BM_SimulatedInstructionThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_MultitaperPsd(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<double> series(static_cast<std::size_t>(state.range(0)));
+    for (auto &v : series)
+        v = rng.gaussian(6.0, 2.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sineMultitaperPsd(series, 250e6, 5));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MultitaperPsd)->Range(1 << 12, 1 << 16)->Complexity();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Scheme comparison example: run one benchmark under every built-in
+ * DVFS scheme and print the paper-style comparison table.
+ *
+ * Usage: compare_schemes [benchmark] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/mcdsim.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchmark = argc > 1 ? argv[1] : "mpeg2_dec";
+    mcd::RunOptions opts;
+    opts.instructions =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400'000;
+
+    const auto &info = mcd::benchmarkInfo(benchmark);
+    std::printf("benchmark: %s (%s) - %s\n", info.name.c_str(),
+                info.suite.c_str(), info.description.c_str());
+    std::printf("workload class: %s-varying, %llu instructions\n\n",
+                info.expectedFastVarying ? "fast" : "slow",
+                static_cast<unsigned long long>(opts.instructions));
+
+    const mcd::SimResult base = mcd::runMcdBaseline(benchmark, opts);
+    std::printf("MCD baseline: %.3f ms, %.3f mJ (all domains at "
+                "1 GHz)\n\n",
+                base.seconds() * 1e3, base.energy * 1e3);
+
+    std::printf("%-18s %8s %8s %8s %10s %10s %10s\n", "scheme",
+                "E-sav%", "P-deg%", "EDP+%", "f-INT", "f-FP", "f-LS");
+    for (auto kind :
+         {mcd::ControllerKind::Adaptive, mcd::ControllerKind::Pid,
+          mcd::ControllerKind::AttackDecay}) {
+        const mcd::SimResult r =
+            mcd::runBenchmark(benchmark, kind, opts);
+        const mcd::Comparison c = mcd::compare(r, base);
+        std::printf("%-18s %8.2f %8.2f %8.2f %9.3fG %9.3fG %9.3fG\n",
+                    r.controller.c_str(), c.energySavings * 100,
+                    c.perfDegradation * 100, c.edpImprovement * 100,
+                    r.domains[0].avgFrequency / 1e9,
+                    r.domains[1].avgFrequency / 1e9,
+                    r.domains[2].avgFrequency / 1e9);
+    }
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Control-design example: use the Section 4 analysis library to pick
+ * the adaptive controller's basic time delays, then validate the
+ * chosen design on the nonlinear model and on the real FSM controller
+ * driving the abstract queue plant.
+ *
+ * Usage: control_design [target_damping]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/mcdsim.hh"
+
+int
+main(int argc, char **argv)
+{
+    const double target_xi =
+        argc > 1 ? std::strtod(argv[1], nullptr) : 0.75;
+
+    // 1. Model the plant around the expected operating point.
+    mcd::ModelParams p;
+    p.step = 1.0; // scaled units (absorbs m, l, gamma conversions)
+    p.t1 = 0.2;
+    p.c2 = 0.8;
+    p.k = p.muFGain(0.7);
+    p.qref = 6.0;
+    p.tl0 = 2.0; // K_l = 0.5 regime of the paper's example
+
+    // 2. Remark 3: delay ratio for the requested damping.
+    const auto bounds = mcd::delayRatioForDamping(p, 0.5, 1.0);
+    const double ratio = 4.0 * target_xi * target_xi / p.kl();
+    p.tm0 = ratio * p.tl0;
+
+    const auto a = mcd::analyze(p);
+    std::printf("design for damping xi = %.2f:\n", target_xi);
+    std::printf("  feasible ratio band (xi in [0.5, 1.0]): "
+                "Tm0/Tl0 in [%.1f, %.1f]\n",
+                bounds.lo, bounds.hi);
+    std::printf("  chosen Tm0/Tl0 = %.2f -> Tm0 = %.2f, Tl0 = %.2f\n",
+                ratio, p.tm0, p.tl0);
+    std::printf("  predicted: xi = %.3f, overshoot = %.1f%%, "
+                "settling = %.1f, rise = %.1f (sample periods)\n\n",
+                a.dampingRatio(), a.percentOvershoot(),
+                a.settlingTime(), a.riseTime());
+
+    // 3. Validate on the nonlinear continuous model.
+    const auto traj = mcd::simulateNonlinear(
+        p, mcd::signals::step(0.5, 0.8, 20.0), p.qref, 0.6, 600.0, 0.05);
+    const auto m = mcd::measureStep(traj.time, traj.serviceRate, 0.8);
+    std::printf("nonlinear simulation of a 0.5 -> 0.8 load step:\n");
+    std::printf("  overshoot %.1f%%, settling %.1f, rise %.1f\n",
+                m.percentOvershoot, m.settlingTime, m.riseTime);
+    std::printf("  final queue %.2f (reference %.1f)\n\n",
+                traj.queue.back(), p.qref);
+
+    // 4. Validate the discrete FSM controller on the abstract plant
+    //    with the equivalent delay ratio (Tl0 = 8 hardware samples).
+    mcd::VfCurve vf;
+    mcd::AdaptiveController::Config cfg;
+    cfg.qref = 6.0;
+    cfg.deltaDelay = 8.0;
+    cfg.levelDelay = 8.0 * ratio;
+    mcd::AdaptiveController ctrl(vf, cfg);
+    mcd::AbstractQueuePlant::Config pc;
+    pc.gamma = 0.05;
+    mcd::AbstractQueuePlant plant(pc);
+    mcd::Hertz f = vf.fMax();
+    double lambda = 0.5;
+    double peak_q = 0.0;
+    for (int i = 0; i < 400000; ++i) {
+        if (i == 200000)
+            lambda = 0.8;
+        const double q = plant.step(lambda, vf.normalized(f));
+        const auto d = ctrl.sample(q, f, false);
+        if (d.change)
+            f = d.targetHz;
+        if (i > 200000)
+            peak_q = std::max(peak_q, q);
+    }
+    std::printf("discrete FSM controller on the abstract plant:\n");
+    std::printf("  post-step peak queue %.1f, final queue %.1f, final "
+                "f %.2f (norm)\n",
+                peak_q, plant.queue(), vf.normalized(f));
+    std::printf("  controller actions: %llu up, %llu down, %llu "
+                "cancelled\n",
+                static_cast<unsigned long long>(ctrl.stats().actionsUp),
+                static_cast<unsigned long long>(
+                    ctrl.stats().actionsDown),
+                static_cast<unsigned long long>(
+                    ctrl.stats().cancellations));
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Command-line front end to the library: run any benchmark under any
+ * scheme, optionally sweep the whole suite, and emit human tables,
+ * CSV, or JSON.
+ *
+ * Usage:
+ *   mcdsim_cli [options]
+ *     --bench NAME|all      benchmark profile (default epic_decode)
+ *     --scheme NAME         adaptive|pid|attack-decay|fixed (default adaptive)
+ *     --insts N             instructions per run (default 600000)
+ *     --seed N              workload seed (default 1)
+ *     --baseline            also run the MCD baseline and print deltas
+ *     --csv                 CSV output (one row per run)
+ *     --json                JSON output (single run only)
+ *     --save-trace PATH     write the generated trace to a file and exit
+ *     --list                list benchmark profiles and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/mcdsim.hh"
+
+namespace
+{
+
+mcd::ControllerKind
+parseScheme(const std::string &name)
+{
+    if (name == "adaptive")
+        return mcd::ControllerKind::Adaptive;
+    if (name == "pid")
+        return mcd::ControllerKind::Pid;
+    if (name == "attack-decay")
+        return mcd::ControllerKind::AttackDecay;
+    if (name == "fixed")
+        return mcd::ControllerKind::Fixed;
+    mcd::fatal("unknown scheme '%s' (adaptive|pid|attack-decay|fixed)",
+               name.c_str());
+}
+
+void
+printHuman(const mcd::SimResult &r)
+{
+    std::printf("%-12s %-18s  %8.3f ms  %8.3f mJ  IPC-eq %5.2f  "
+                "f(GHz) %.2f/%.2f/%.2f\n",
+                r.benchmark.c_str(), r.controller.c_str(),
+                r.seconds() * 1e3, r.energy * 1e3,
+                static_cast<double>(r.instructions) /
+                    static_cast<double>(r.feCycles),
+                r.domains[0].avgFrequency / 1e9,
+                r.domains[1].avgFrequency / 1e9,
+                r.domains[2].avgFrequency / 1e9);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = "epic_decode";
+    std::string scheme = "adaptive";
+    mcd::RunOptions opts;
+    opts.instructions = 600'000;
+    bool with_baseline = false;
+    bool csv = false, json = false;
+    std::string save_trace;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                mcd::fatal("option '%s' needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--bench") {
+            bench = value();
+        } else if (arg == "--scheme") {
+            scheme = value();
+        } else if (arg == "--insts") {
+            opts.instructions = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--seed") {
+            opts.seed = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--baseline") {
+            with_baseline = true;
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--save-trace") {
+            save_trace = value();
+        } else if (arg == "--list") {
+            for (const auto &b : mcd::benchmarkList()) {
+                std::printf("%-12s %-12s %-5s %s\n", b.name.c_str(),
+                            b.suite.c_str(),
+                            b.expectedFastVarying ? "fast" : "slow",
+                            b.description.c_str());
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("see the header comment of examples/"
+                        "mcdsim_cli.cpp for options\n");
+            return 0;
+        } else {
+            mcd::fatal("unknown option '%s' (try --help)", arg.c_str());
+        }
+    }
+
+    if (!save_trace.empty()) {
+        auto src =
+            mcd::makeBenchmark(bench, opts.instructions, opts.seed);
+        const auto n = mcd::writeTraceFile(save_trace, *src);
+        std::printf("wrote %llu instructions of '%s' to %s\n",
+                    static_cast<unsigned long long>(n), bench.c_str(),
+                    save_trace.c_str());
+        return 0;
+    }
+
+    std::vector<std::string> names;
+    if (bench == "all") {
+        for (const auto &b : mcd::benchmarkList())
+            names.push_back(b.name);
+    } else {
+        names.push_back(bench);
+    }
+
+    const mcd::ControllerKind kind = parseScheme(scheme);
+    std::vector<mcd::SimResult> results;
+    for (const auto &n : names) {
+        mcd::SimResult r = mcd::runBenchmark(n, kind, opts);
+        if (with_baseline && !csv && !json) {
+            const mcd::SimResult base = mcd::runMcdBaseline(n, opts);
+            const mcd::Comparison c = mcd::compare(r, base);
+            printHuman(r);
+            std::printf("  vs baseline: E-sav %.2f%%  P-deg %.2f%%  "
+                        "EDP %.2f%%\n",
+                        c.energySavings * 100, c.perfDegradation * 100,
+                        c.edpImprovement * 100);
+        }
+        results.push_back(std::move(r));
+    }
+
+    if (json) {
+        if (results.size() != 1)
+            mcd::fatal("--json supports a single run");
+        std::printf("%s\n", mcd::resultJson(results[0]).c_str());
+    } else if (csv) {
+        mcd::writeResultsCsv(std::cout, results);
+    } else if (!with_baseline) {
+        for (const auto &r : results)
+            printHuman(r);
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quickstart: run one benchmark under the adaptive DVFS scheme and
+ * compare against the conventional synchronous processor.
+ *
+ * Usage: quickstart [benchmark] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/mcdsim.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchmark = argc > 1 ? argv[1] : "epic_decode";
+    mcd::RunOptions opts;
+    opts.instructions =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500'000;
+
+    std::printf("mcdsim quickstart: %s, %llu instructions\n\n",
+                benchmark.c_str(),
+                static_cast<unsigned long long>(opts.instructions));
+
+    const mcd::SimResult base =
+        mcd::runSynchronousBaseline(benchmark, opts);
+    const mcd::SimResult adaptive =
+        mcd::runBenchmark(benchmark, mcd::ControllerKind::Adaptive, opts);
+    const mcd::Comparison delta = mcd::compare(adaptive, base);
+
+    std::printf("%-22s %14s %14s\n", "", "sync-baseline", "adaptive");
+    std::printf("%-22s %14.3f %14.3f\n", "run time (ms)",
+                base.seconds() * 1e3, adaptive.seconds() * 1e3);
+    std::printf("%-22s %14.3f %14.3f\n", "energy (mJ)", base.energy * 1e3,
+                adaptive.energy * 1e3);
+    std::printf("%-22s %14.3f %14.3f\n", "EDP (uJ*s)", base.edp() * 1e6,
+                adaptive.edp() * 1e6);
+    std::printf("\n");
+
+    static const char *domain_names[3] = {"INT", "FP", "LS"};
+    for (int i = 0; i < 3; ++i) {
+        const auto &d = adaptive.domains[i];
+        std::printf("%s domain: avg freq %.3f GHz, avg queue %.2f, "
+                    "%llu transitions\n",
+                    domain_names[i], d.avgFrequency / 1e9,
+                    d.avgQueueOccupancy,
+                    static_cast<unsigned long long>(d.transitions));
+    }
+
+    std::printf("\nenergy savings:    %6.2f %%\n",
+                delta.energySavings * 100.0);
+    std::printf("perf degradation:  %6.2f %%\n",
+                delta.perfDegradation * 100.0);
+    std::printf("EDP improvement:   %6.2f %%\n",
+                delta.edpImprovement * 100.0);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Register-dependence completion tracking.
+ *
+ * The trace format encodes dependences as distances to producing
+ * instructions, so operand readiness reduces to "when did producer
+ * seq - dist complete, and in which domain?". A fixed-size ring keyed
+ * by sequence number answers that in O(1); entries older than the
+ * ring (far beyond the maximum dependence distance and ROB depth) are
+ * treated as completed at time zero.
+ */
+
+#ifndef MCDSIM_ARCH_COMPLETION_TABLE_HH
+#define MCDSIM_ARCH_COMPLETION_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "mcd/clock_domain.hh"
+
+namespace mcd
+{
+
+/** Ring of producer completion records. */
+class CompletionTable
+{
+  public:
+    explicit CompletionTable(std::size_t capacity = 1024)
+        : ring(capacity)
+    {
+        mcd_assert(capacity != 0 && (capacity & (capacity - 1)) == 0,
+                   "completion table capacity must be a power of 2");
+    }
+
+    /** Register instruction @p seq as in flight (not yet complete). */
+    void
+    beginInst(InstSeqNum seq, DomainId domain)
+    {
+        Entry &e = ring[seq & (ring.size() - 1)];
+        e.seq = seq;
+        e.completeTime = maxTick;
+        e.domain = domain;
+    }
+
+    /** Record completion of @p seq at @p when. */
+    void
+    complete(InstSeqNum seq, Tick when)
+    {
+        Entry &e = ring[seq & (ring.size() - 1)];
+        mcd_assert(e.seq == seq, "completion of evicted seq %llu",
+                   static_cast<unsigned long long>(seq));
+        e.completeTime = when;
+    }
+
+    /**
+     * Time the result of @p seq becomes usable by a consumer in
+     * @p consumer domain, given @p cross_penalty extra ticks for
+     * cross-domain forwarding; maxTick while the producer is pending.
+     * Sequence numbers that fell off the ring are long retired.
+     */
+    Tick
+    readyTime(InstSeqNum seq, DomainId consumer, Tick cross_penalty) const
+    {
+        const Entry &e = ring[seq & (ring.size() - 1)];
+        if (e.seq != seq)
+            return 0; // ancient producer: long since architected
+        if (e.completeTime == maxTick)
+            return maxTick;
+        return e.domain == consumer ? e.completeTime
+                                    : e.completeTime + cross_penalty;
+    }
+
+  private:
+    struct Entry
+    {
+        InstSeqNum seq = ~InstSeqNum(0);
+        Tick completeTime = 0;
+        DomainId domain = DomainId::FrontEnd;
+    };
+
+    std::vector<Entry> ring;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_ARCH_COMPLETION_TABLE_HH

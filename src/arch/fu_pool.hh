@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Functional-unit pools for the execution clusters (Table 1: 4 integer
+ * ALUs plus one mult/div unit; 2 FP ALUs plus one mult/div/sqrt unit).
+ *
+ * ALU-class units are fully pipelined (busy one issue slot); divide
+ * and square-root units block for their whole latency.
+ */
+
+#ifndef MCDSIM_ARCH_FU_POOL_HH
+#define MCDSIM_ARCH_FU_POOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "workload/inst.hh"
+
+namespace mcd
+{
+
+/** A pool of identical functional units tracked by busy-until time. */
+class FuPool
+{
+  public:
+    FuPool(std::string pool_name, std::uint32_t count)
+        : _name(std::move(pool_name)), busyUntil(count, 0)
+    {}
+
+    /** True when a unit is free at @p now. */
+    bool
+    available(Tick now) const
+    {
+        for (Tick t : busyUntil) {
+            if (t <= now)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Occupy one free unit until @p until. Caller must have checked
+     * available().
+     */
+    void
+    acquire(Tick now, Tick until)
+    {
+        for (Tick &t : busyUntil) {
+            if (t <= now) {
+                t = until;
+                ++uses;
+                return;
+            }
+        }
+        panic("%s: acquire with no free unit", _name.c_str());
+    }
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(busyUntil.size());
+    }
+
+    std::uint64_t useCount() const { return uses; }
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    std::vector<Tick> busyUntil;
+    std::uint64_t uses = 0;
+};
+
+/** FU pools of one execution cluster, routed by instruction class. */
+class ClusterFus
+{
+  public:
+    ClusterFus(std::string cluster, std::uint32_t alus,
+               std::uint32_t muldivs)
+        : alu(cluster + "-alu", alus), muldiv(cluster + "-muldiv", muldivs)
+    {}
+
+    /** The pool an instruction of class @p cls needs. */
+    FuPool &
+    poolFor(InstClass cls)
+    {
+        switch (cls) {
+          case InstClass::IntMul:
+          case InstClass::IntDiv:
+          case InstClass::FpMul:
+          case InstClass::FpDiv:
+          case InstClass::FpSqrt:
+            return muldiv;
+          default:
+            return alu;
+        }
+    }
+
+    /** Divide/sqrt block their unit for the full latency. */
+    static bool
+    blocking(InstClass cls)
+    {
+        return cls == InstClass::IntDiv || cls == InstClass::FpDiv ||
+               cls == InstClass::FpSqrt;
+    }
+
+    FuPool alu;
+    FuPool muldiv;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_ARCH_FU_POOL_HH

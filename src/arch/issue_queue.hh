@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Combined issue/interface queue (paper Section 2).
+ *
+ * In the Semeraro MCD design the issue queues double as the
+ * synchronization interface queues between the front end and the
+ * execution clusters, and their occupancy is exactly the signal the
+ * DVFS controllers monitor. Entries become selectable only after
+ * their cross-domain visibility time (write time plus the
+ * synchronization window) has passed.
+ */
+
+#ifndef MCDSIM_ARCH_ISSUE_QUEUE_HH
+#define MCDSIM_ARCH_ISSUE_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "arch/dyn_inst.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace mcd
+{
+
+/** Finite instruction queue with visibility-gated oldest-first scan. */
+class IssueQueue
+{
+  public:
+    IssueQueue(std::string queue_name, std::uint32_t capacity)
+        : _name(std::move(queue_name)), cap(capacity)
+    {
+        mcd_assert(capacity != 0, "zero-capacity issue queue");
+    }
+
+    bool full() const { return entries.size() >= cap; }
+    bool empty() const { return entries.empty(); }
+    std::size_t occupancy() const { return entries.size(); }
+    std::uint32_t capacity() const { return cap; }
+    const std::string &name() const { return _name; }
+
+    /** Insert at the tail; caller must have checked full(). */
+    void
+    insert(DynInst *inst)
+    {
+        mcd_assert(!full(), "%s overflow", _name.c_str());
+        entries.push_back(inst);
+        if (entries.size() > _maxOccupancy)
+            _maxOccupancy = entries.size();
+    }
+
+    /**
+     * Oldest-first scan: invoke @p fn on each visible entry until it
+     * returns false (stop) or the queue is exhausted. @p fn may not
+     * mutate the queue; collect choices and call erase() after.
+     */
+    template <typename Fn>
+    void
+    forEachVisible(Tick now, Fn &&fn) const
+    {
+        for (DynInst *inst : entries) {
+            if (inst->queueVisibleTime > now)
+                continue;
+            if (!fn(inst))
+                return;
+        }
+    }
+
+    /** Remove a previously selected entry. */
+    void
+    erase(DynInst *inst)
+    {
+        for (auto it = entries.begin(); it != entries.end(); ++it) {
+            if (*it == inst) {
+                entries.erase(it);
+                return;
+            }
+        }
+        panic("%s: erasing absent instruction", _name.c_str());
+    }
+
+    void clear() { entries.clear(); }
+
+    /** High-water mark, for the evaluation tables. */
+    std::size_t maxOccupancy() const { return _maxOccupancy; }
+
+  private:
+    std::string _name;
+    std::uint32_t cap;
+    std::deque<DynInst *> entries;
+    std::size_t _maxOccupancy = 0;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_ARCH_ISSUE_QUEUE_HH

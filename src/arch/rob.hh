@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reorder buffer (Table 1: 80 entries, retire width 11).
+ *
+ * The ROB owns the DynInst storage for the whole window: allocation
+ * returns a pointer that stays valid until the instruction retires,
+ * so the issue queues and clusters can hold raw pointers safely.
+ */
+
+#ifndef MCDSIM_ARCH_ROB_HH
+#define MCDSIM_ARCH_ROB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/dyn_inst.hh"
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+/** Circular reorder buffer that owns in-flight instruction records. */
+class Rob
+{
+  public:
+    explicit Rob(std::uint32_t capacity)
+        : slots(capacity)
+    {
+        mcd_assert(capacity != 0, "zero-capacity ROB");
+    }
+
+    bool full() const { return count == slots.size(); }
+    bool empty() const { return count == 0; }
+    std::size_t occupancy() const { return count; }
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Allocate the tail slot; caller must have checked full(). */
+    DynInst *
+    allocate()
+    {
+        mcd_assert(!full(), "ROB overflow");
+        DynInst *inst = &slots[tail];
+        *inst = DynInst{};
+        tail = (tail + 1) % slots.size();
+        ++count;
+        return inst;
+    }
+
+    /** Oldest in-flight instruction (caller checks empty()). */
+    DynInst *
+    head()
+    {
+        mcd_assert(!empty(), "ROB head of empty buffer");
+        return &slots[headIdx];
+    }
+
+    /** Retire the head; its storage is recycled. */
+    void
+    retireHead()
+    {
+        mcd_assert(!empty(), "ROB retire of empty buffer");
+        headIdx = (headIdx + 1) % slots.size();
+        --count;
+        ++retired;
+    }
+
+    /** Instructions retired since construction. */
+    std::uint64_t retiredCount() const { return retired; }
+
+  private:
+    std::vector<DynInst> slots;
+    std::size_t headIdx = 0;
+    std::size_t tail = 0;
+    std::size_t count = 0;
+    std::uint64_t retired = 0;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_ARCH_ROB_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated; this is a simulator
+ *            bug. Aborts (may dump core).
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, impossible parameter). Exits cleanly
+ *            with status 1.
+ * warn()   — something is suspicious but the run continues.
+ * inform() — status information for the user.
+ */
+
+#ifndef MCDSIM_COMMON_LOGGING_HH
+#define MCDSIM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mcd
+{
+
+/** Abort with a formatted message; use for simulator bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for user/configuration errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr and continue. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Implementation detail of mcd_assert. */
+[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Assert-like helper for invariants that must also hold in release
+ * builds. Panics with location information when @p cond is false.
+ */
+#define mcd_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::mcd::panicAssert(#cond, __FILE__, __LINE__, __VA_ARGS__);     \
+    } while (0)
+
+} // namespace mcd
+
+#endif // MCDSIM_COMMON_LOGGING_HH

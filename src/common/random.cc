@@ -1,0 +1,137 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : state)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    mcd_assert(n > 0, "Rng::below(0)");
+    // Lemire-style rejection-free multiply-shift is fine here; the
+    // bias for n << 2^64 is negligible for simulation purposes.
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(next()) * n) >> 64);
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    mcd_assert(lo <= hi, "Rng::range with lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double
+Rng::gaussian()
+{
+    if (haveCachedGaussian) {
+        haveCachedGaussian = false;
+        return cachedGaussian;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedGaussian = r * std::sin(theta);
+    haveCachedGaussian = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p <= 0.0)
+        return 0;
+    double u = uniform();
+    while (u <= 1e-300)
+        u = uniform();
+    return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+Rng
+Rng::fork(std::uint64_t key) const
+{
+    // Derive a child seed from the current state and the key without
+    // disturbing this generator's own sequence.
+    std::uint64_t mix = state[0] ^ rotl(state[3], 23) ^ key;
+    return Rng(splitmix64(mix));
+}
+
+} // namespace mcd

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every mcdsim
+ * subsystem.
+ *
+ * Simulated time is kept as an unsigned 64-bit count of femtoseconds
+ * (Tick). Femtosecond resolution keeps every quantity in the paper's
+ * Table 1 integral: a 1 GHz clock period is exactly 1,000,000 fs, the
+ * 2.34 MHz DVFS frequency step and the 73.3 ns/MHz regulator ramp both
+ * stay representable, and 2^64 fs is roughly 5 hours of simulated
+ * time, far beyond any run we perform.
+ */
+
+#ifndef MCDSIM_COMMON_TYPES_HH
+#define MCDSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace mcd
+{
+
+/** Simulated time in femtoseconds. */
+using Tick = std::uint64_t;
+
+/** Clock frequency in hertz. */
+using Hertz = double;
+
+/** Supply voltage in volts. */
+using Volt = double;
+
+/** Energy in joules. */
+using Joule = double;
+
+/** Maximum representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** @{ Tick construction helpers. One tick is one femtosecond. */
+constexpr Tick
+ticksFromFs(std::uint64_t fs)
+{
+    return fs;
+}
+
+constexpr Tick
+ticksFromPs(std::uint64_t ps)
+{
+    return ps * 1000ull;
+}
+
+constexpr Tick
+ticksFromNs(std::uint64_t ns)
+{
+    return ns * 1000000ull;
+}
+
+constexpr Tick
+ticksFromUs(std::uint64_t us)
+{
+    return us * 1000000000ull;
+}
+
+constexpr Tick
+ticksFromMs(std::uint64_t ms)
+{
+    return ms * 1000000000000ull;
+}
+/** @} */
+
+/** Convert ticks to seconds (lossy, for reporting only). */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-15;
+}
+
+/** Convert seconds to ticks (lossy, for configuration only). */
+constexpr Tick
+ticksFromSeconds(double s)
+{
+    return static_cast<Tick>(s * 1e15 + 0.5);
+}
+
+/**
+ * Clock period, in ticks, of a clock running at @p f hertz.
+ * Rounded to the nearest femtosecond.
+ */
+constexpr Tick
+periodFromFrequency(Hertz f)
+{
+    return static_cast<Tick>(1e15 / f + 0.5);
+}
+
+/** Frequency, in hertz, of a clock with period @p period ticks. */
+constexpr Hertz
+frequencyFromPeriod(Tick period)
+{
+    return 1e15 / static_cast<double>(period);
+}
+
+/** @{ Frequency literals-as-functions. */
+constexpr Hertz
+megaHertz(double mhz)
+{
+    return mhz * 1e6;
+}
+
+constexpr Hertz
+gigaHertz(double ghz)
+{
+    return ghz * 1e9;
+}
+/** @} */
+
+/** Memory address used by the cache hierarchy and trace generators. */
+using Addr = std::uint64_t;
+
+/** Monotonically increasing dynamic-instruction sequence number. */
+using InstSeqNum = std::uint64_t;
+
+} // namespace mcd
+
+#endif // MCDSIM_COMMON_TYPES_HH

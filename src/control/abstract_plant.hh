@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Discrete-time abstract queue/domain plant (Figure 2 of the paper).
+ *
+ * A single clock domain is reduced to a finite queue fed at rate
+ * lambda(t) and drained at service rate mu(f) = 1/(t1 + c2/f). The
+ * plant advances in DVFS sampling periods and exposes the sampled
+ * queue occupancy, so any controller that consumes queue samples —
+ * including the production AdaptiveController — can be validated
+ * against it without the full microarchitectural simulator. This is
+ * the bridge between Section 4's continuous analysis and Section 3's
+ * discrete design.
+ */
+
+#ifndef MCDSIM_CONTROL_ABSTRACT_PLANT_HH
+#define MCDSIM_CONTROL_ABSTRACT_PLANT_HH
+
+#include <functional>
+
+#include "control/controller_model.hh"
+
+namespace mcd
+{
+
+/** Discrete queue plant stepped once per sampling period. */
+class AbstractQueuePlant
+{
+  public:
+    struct Config
+    {
+        /** Queue capacity in entries. */
+        double queueCapacity = 20.0;
+
+        /** Frequency-independent time per item (sample periods). */
+        double t1 = 0.2;
+
+        /** Frequency-dependent cycles per item. */
+        double c2 = 0.8;
+
+        /** Items entering per sample period at unit lambda. */
+        double gamma = 1.0;
+
+        /** Initial queue occupancy. */
+        double initialQueue = 0.0;
+    };
+
+    explicit AbstractQueuePlant(const Config &config)
+        : cfg(config), q(config.initialQueue)
+    {}
+
+    /**
+     * Advance one sampling period with arrival intensity @p lambda
+     * and normalized domain frequency @p f.
+     * @return the queue occupancy after the step.
+     */
+    double
+    step(double lambda, double f)
+    {
+        const double mu = 1.0 / (cfg.t1 + cfg.c2 / f);
+        q += cfg.gamma * (lambda - mu);
+        if (q < 0.0)
+            q = 0.0;
+        if (q > cfg.queueCapacity)
+            q = cfg.queueCapacity;
+        ++steps;
+        return q;
+    }
+
+    /** Current queue occupancy. */
+    double queue() const { return q; }
+
+    /** Service rate at normalized frequency @p f. */
+    double
+    serviceRate(double f) const
+    {
+        return 1.0 / (cfg.t1 + cfg.c2 / f);
+    }
+
+    /** Number of sampling periods simulated so far. */
+    std::uint64_t stepCount() const { return steps; }
+
+    void
+    reset()
+    {
+        q = cfg.initialQueue;
+        steps = 0;
+    }
+
+  private:
+    Config cfg;
+    double q;
+    std::uint64_t steps = 0;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_CONTROL_ABSTRACT_PLANT_HH

@@ -1,0 +1,225 @@
+#include "control/controller_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+bool
+StabilityAnalysis::stable() const
+{
+    return root1.real() < 0.0 && root2.real() < 0.0;
+}
+
+double
+StabilityAnalysis::dampingRatio() const
+{
+    return km > 0.0 ? kl / (2.0 * std::sqrt(km)) : 0.0;
+}
+
+double
+StabilityAnalysis::naturalFrequency() const
+{
+    return km > 0.0 ? std::sqrt(km) : 0.0;
+}
+
+double
+StabilityAnalysis::settlingTime() const
+{
+    return kl > 0.0 ? 8.0 / kl : 0.0;
+}
+
+double
+StabilityAnalysis::riseTime() const
+{
+    return km > 0.0 ? (0.8 * std::sqrt(km) + 1.25 * kl) / km : 0.0;
+}
+
+double
+StabilityAnalysis::percentOvershoot() const
+{
+    const double xi = dampingRatio();
+    if (xi >= 1.0 || xi <= 0.0)
+        return 0.0;
+    return 100.0 * std::exp(-M_PI * xi / std::sqrt(1.0 - xi * xi));
+}
+
+StabilityAnalysis
+analyze(const ModelParams &params)
+{
+    StabilityAnalysis out;
+    out.km = params.km();
+    out.kl = params.kl();
+
+    const std::complex<double> disc(out.kl * out.kl - 4.0 * out.km, 0.0);
+    const std::complex<double> sq = std::sqrt(disc);
+    out.root1 = (-out.kl + sq) / 2.0;
+    out.root2 = (-out.kl - sq) / 2.0;
+    return out;
+}
+
+DelayRatioBounds
+delayRatioForDamping(const ModelParams &params, double xi_lo, double xi_hi)
+{
+    mcd_assert(xi_lo > 0.0 && xi_hi >= xi_lo, "bad damping range");
+    // With shared constants, Km = c/Tm0 and Kl = c/Tl0, so
+    // xi^2 = Kl^2/(4 Km) = Kl * (Tm0/Tl0) / 4, hence
+    // Tm0/Tl0 = 4 xi^2 / Kl.
+    const double kl = params.kl();
+    mcd_assert(kl > 0.0, "Kl must be positive");
+    return DelayRatioBounds{4.0 * xi_lo * xi_lo / kl,
+                            4.0 * xi_hi * xi_hi / kl};
+}
+
+namespace
+{
+
+/** One RK4 step of a 2-state system. */
+template <typename Deriv>
+void
+rk4Step(double &a, double &b, double t, double dt, Deriv deriv)
+{
+    double k1a, k1b, k2a, k2b, k3a, k3b, k4a, k4b;
+    deriv(t, a, b, k1a, k1b);
+    deriv(t + dt / 2, a + dt / 2 * k1a, b + dt / 2 * k1b, k2a, k2b);
+    deriv(t + dt / 2, a + dt / 2 * k2a, b + dt / 2 * k2b, k3a, k3b);
+    deriv(t + dt, a + dt * k3a, b + dt * k3b, k4a, k4b);
+    a += dt / 6 * (k1a + 2 * k2a + 2 * k3a + k4a);
+    b += dt / 6 * (k1b + 2 * k2b + 2 * k3b + k4b);
+}
+
+} // namespace
+
+Trajectory
+simulateLinear(const ModelParams &params, const WorkloadFn &lambda,
+               double q0, double mu0, double duration, double dt)
+{
+    mcd_assert(dt > 0.0 && duration > 0.0, "bad integration window");
+    const double km = params.km();
+    const double kl = params.kl();
+    const double gamma = params.gamma;
+    const double qref = params.qref;
+
+    auto deriv = [&](double t, double q, double mu, double &dq,
+                     double &dmu) {
+        dq = gamma * (lambda(t) - mu);
+        dmu = km * (q - qref) + kl * dq;
+    };
+
+    Trajectory traj;
+    const auto steps = static_cast<std::size_t>(duration / dt);
+    traj.time.reserve(steps + 1);
+    traj.queue.reserve(steps + 1);
+    traj.serviceRate.reserve(steps + 1);
+
+    double q = q0;
+    double mu = mu0;
+    double t = 0.0;
+    for (std::size_t i = 0; i <= steps; ++i) {
+        traj.time.push_back(t);
+        traj.queue.push_back(q);
+        traj.serviceRate.push_back(mu);
+        rk4Step(q, mu, t, dt, deriv);
+        t += dt;
+    }
+    return traj;
+}
+
+Trajectory
+simulateNonlinear(const ModelParams &params, const WorkloadFn &lambda,
+                  double q0, double f0, double duration, double dt,
+                  double q_max, double f_min, double f_max)
+{
+    mcd_assert(dt > 0.0 && duration > 0.0, "bad integration window");
+    const double gamma = params.gamma;
+    const double qref = params.qref;
+
+    auto deriv = [&](double t, double q, double f, double &dq,
+                     double &df) {
+        const double fc = std::clamp(f, f_min, f_max);
+        const double mu = params.serviceRate(fc);
+        dq = gamma * (lambda(t) - mu);
+        // Queue saturation: no outflow below empty, no inflow above
+        // full.
+        if ((q <= 0.0 && dq < 0.0) || (q >= q_max && dq > 0.0))
+            dq = 0.0;
+        const double h = fc * fc; // h(f) = f^2 linearizing choice
+        df = params.m * params.step / (h * params.tm0) * (q - qref) +
+             params.l * params.step / (h * params.tl0) * dq;
+        // Frequency saturation.
+        if ((f <= f_min && df < 0.0) || (f >= f_max && df > 0.0))
+            df = 0.0;
+    };
+
+    Trajectory traj;
+    const auto steps = static_cast<std::size_t>(duration / dt);
+    traj.time.reserve(steps + 1);
+    traj.queue.reserve(steps + 1);
+    traj.serviceRate.reserve(steps + 1);
+    traj.frequency.reserve(steps + 1);
+
+    double q = q0;
+    double f = f0;
+    double t = 0.0;
+    for (std::size_t i = 0; i <= steps; ++i) {
+        traj.time.push_back(t);
+        traj.queue.push_back(q);
+        traj.serviceRate.push_back(params.serviceRate(
+            std::clamp(f, f_min, f_max)));
+        traj.frequency.push_back(std::clamp(f, f_min, f_max));
+        rk4Step(q, f, t, dt, deriv);
+        q = std::clamp(q, 0.0, q_max);
+        f = std::clamp(f, f_min, f_max);
+        t += dt;
+    }
+    return traj;
+}
+
+StepMetrics
+measureStep(const std::vector<double> &time,
+            const std::vector<double> &series, double target)
+{
+    StepMetrics out;
+    if (series.size() < 2 || time.size() != series.size())
+        return out;
+
+    const double base = series.front();
+    const double step = target - base;
+    out.finalValue = series.back();
+    if (std::abs(step) < 1e-12)
+        return out;
+
+    // Overshoot: peak excursion past the target, percent of the step.
+    double peak = 0.0;
+    for (double v : series) {
+        const double over = (v - target) / step; // >0 means past target
+        peak = std::max(peak, over);
+    }
+    out.percentOvershoot = 100.0 * peak;
+
+    // Settling time: last departure from the 2% band around target.
+    const double band = 0.02 * std::abs(step);
+    double settle = 0.0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (std::abs(series[i] - target) > band)
+            settle = time[i];
+    }
+    out.settlingTime = settle;
+
+    // Rise time: first 10% crossing to first 90% crossing.
+    double t10 = -1.0, t90 = -1.0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const double frac = (series[i] - base) / step;
+        if (t10 < 0.0 && frac >= 0.1)
+            t10 = time[i];
+        if (t90 < 0.0 && frac >= 0.9)
+            t90 = time[i];
+    }
+    out.riseTime = (t10 >= 0.0 && t90 >= t10) ? t90 - t10 : 0.0;
+    return out;
+}
+
+} // namespace mcd

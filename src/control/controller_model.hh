@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Analytical model of the adaptive DVFS control loop (paper Section 4).
+ *
+ * The aggregate continuous-time model of controller, queue, and clock
+ * domain is
+ *
+ *   q'(t)  = gamma * (lambda(t) - mu(t))                        (8)
+ *   mu(t)  = 1 / (t1 + c2 / f(t))                               (9)
+ *   f'(t)  = m*step/(h(f)*Tm0) * (q - qref)
+ *          + l*step/(h(f)*Tl0) * q'                             (7)
+ *
+ * Choosing h(f) = f^2 compensates the nonlinearity of (9) (since
+ * dmu/df = c2/(t1 f + c2)^2 ~ k/f^2 around the operating point),
+ * yielding the linear closed loop
+ *
+ *   q'  = gamma * (lambda - mu)
+ *   mu' = Km (q - qref) + Kl q'
+ *
+ * with Km = m*gamma*k*step/Tm0 and Kl = l*gamma*k*step/Tl0 and
+ * characteristic equation s^2 + Kl s + Km = 0.
+ *
+ * This module computes the derived gains, characteristic roots,
+ * damping ratio, settling/rise time and overshoot estimates, and the
+ * Remark-3 delay-ratio design rule, and integrates both the linearized
+ * and the original nonlinear model numerically (RK4) so the paper's
+ * three analytical remarks can be verified against trajectories.
+ */
+
+#ifndef MCDSIM_CONTROL_CONTROLLER_MODEL_HH
+#define MCDSIM_CONTROL_CONTROLLER_MODEL_HH
+
+#include <complex>
+#include <functional>
+#include <vector>
+
+namespace mcd
+{
+
+/** Parameters of the aggregate control model (paper eq. 7-9). */
+struct ModelParams
+{
+    /** Unit-conversion constant for the level signal (q - qref). */
+    double m = 1.0;
+
+    /** Unit-conversion constant for the delta signal (q_i - q_{i-1}). */
+    double l = 1.0;
+
+    /** Frequency step per action, in normalized frequency units. */
+    double step = 1.0 / 320.0;
+
+    /** Basic time delay for the level signal, in sample periods. */
+    double tm0 = 50.0;
+
+    /** Basic time delay for the delta signal, in sample periods. */
+    double tl0 = 8.0;
+
+    /** Sampling-period proportionality constant of eq. (8). */
+    double gamma = 1.0;
+
+    /**
+     * Linearized mu-f gain: dmu/df ~ k / f^2 near the operating
+     * point; k is estimated from t1 and c2 (see muFGain()).
+     */
+    double k = 1.0;
+
+    /** Frequency-independent seconds per instruction (eq. 9). */
+    double t1 = 0.2;
+
+    /** Frequency-dependent cycles per instruction (eq. 9). */
+    double c2 = 0.8;
+
+    /** Target (reference) queue occupancy. */
+    double qref = 6.0;
+
+    /** Level-loop gain Km = m * gamma * k * step / Tm0. */
+    double km() const { return m * gamma * k * step / tm0; }
+
+    /** Delta-loop gain Kl = l * gamma * k * step / Tl0. */
+    double kl() const { return l * gamma * k * step / tl0; }
+
+    /** Service rate at normalized frequency f, mu = 1/(t1 + c2/f). */
+    double
+    serviceRate(double f) const
+    {
+        return 1.0 / (t1 + c2 / f);
+    }
+
+    /**
+     * Exact dmu/df = c2 / (t1 f + c2)^2 at normalized frequency f.
+     */
+    double
+    serviceRateSlope(double f) const
+    {
+        const double d = t1 * f + c2;
+        return c2 / (d * d);
+    }
+
+    /**
+     * The k that makes k/f^2 match the exact slope at operating
+     * point @p f0: k = f0^2 * c2 / (t1 f0 + c2)^2.
+     */
+    double
+    muFGain(double f0) const
+    {
+        return f0 * f0 * serviceRateSlope(f0);
+    }
+};
+
+/** Roots of s^2 + Kl s + Km = 0 plus derived response figures. */
+struct StabilityAnalysis
+{
+    std::complex<double> root1;
+    std::complex<double> root2;
+    double km = 0.0;
+    double kl = 0.0;
+
+    /** True when both roots lie strictly in the left half-plane. */
+    bool stable() const;
+
+    /** Damping ratio xi = Kl / (2 sqrt(Km)). */
+    double dampingRatio() const;
+
+    /** Natural frequency wn = sqrt(Km). */
+    double naturalFrequency() const;
+
+    /** 2% settling-time estimate t_s ~ 8 / Kl (paper Remark 2). */
+    double settlingTime() const;
+
+    /** Rise-time estimate t_r ~ (0.8 sqrt(Km) + 1.25 Kl) / Km. */
+    double riseTime() const;
+
+    /**
+     * Percent transient overshoot exp(-pi xi / sqrt(1 - xi^2)) for
+     * underdamped systems; 0 when xi >= 1.
+     */
+    double percentOvershoot() const;
+};
+
+/** Analyze the linearized closed loop for the given parameters. */
+StabilityAnalysis analyze(const ModelParams &params);
+
+/**
+ * Remark-3 design rule: the range of delay ratios Tm0/Tl0 that keeps
+ * the damping ratio within [xi_lo, xi_hi], assuming all other
+ * constants are shared between the two signals. Returns {lo, hi}
+ * with lo = 1/(xi_hi^2) * ..., concretely ratio = 4 xi^2 / Kl.
+ */
+struct DelayRatioBounds
+{
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+DelayRatioBounds delayRatioForDamping(const ModelParams &params,
+                                      double xi_lo, double xi_hi);
+
+/** A simulated trajectory of the closed loop. */
+struct Trajectory
+{
+    std::vector<double> time;
+    std::vector<double> queue;
+    std::vector<double> serviceRate;
+    std::vector<double> frequency;
+};
+
+/** Workload input lambda(t); time in sample-period units. */
+using WorkloadFn = std::function<double(double)>;
+
+/**
+ * Integrate the *linearized* model (states q, mu) with RK4.
+ * @param duration  Total time (sample periods).
+ * @param dt        Integration step.
+ */
+Trajectory simulateLinear(const ModelParams &params,
+                          const WorkloadFn &lambda, double q0, double mu0,
+                          double duration, double dt);
+
+/**
+ * Integrate the original *nonlinear* model (states q, f) with RK4;
+ * h(f) = f^2 per the paper's linearizing choice, queue clamped to
+ * [0, q_max], frequency clamped to [f_min, f_max] (normalized).
+ */
+Trajectory simulateNonlinear(const ModelParams &params,
+                             const WorkloadFn &lambda, double q0, double f0,
+                             double duration, double dt,
+                             double q_max = 20.0, double f_min = 0.25,
+                             double f_max = 1.0);
+
+/** Figures of merit extracted from a step-response trajectory. */
+struct StepMetrics
+{
+    /** Peak overshoot above the final value, in percent of the step. */
+    double percentOvershoot = 0.0;
+
+    /** First time the response enters and stays in the 2% band. */
+    double settlingTime = 0.0;
+
+    /** 10%-90% rise time. */
+    double riseTime = 0.0;
+
+    /** Final (last-sample) value. */
+    double finalValue = 0.0;
+};
+
+/**
+ * Measure step-response metrics of @p series (with matching @p time
+ * axis) relative to initial value series.front() and target
+ * @p target.
+ */
+StepMetrics measureStep(const std::vector<double> &time,
+                        const std::vector<double> &series, double target);
+
+} // namespace mcd
+
+#endif // MCDSIM_CONTROL_CONTROLLER_MODEL_HH

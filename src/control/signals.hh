@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Canonical workload input signals lambda(t) for control-model
+ * experiments: steps, ramps, sinusoids, square waves, bursts, and a
+ * deterministic noise wrapper. Time is in sample-period units to
+ * match the model of Section 4.
+ */
+
+#ifndef MCDSIM_CONTROL_SIGNALS_HH
+#define MCDSIM_CONTROL_SIGNALS_HH
+
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "common/random.hh"
+
+namespace mcd
+{
+namespace signals
+{
+
+using Signal = std::function<double(double)>;
+
+/** Constant level. */
+inline Signal
+constant(double level)
+{
+    return [level](double) { return level; };
+}
+
+/** Steps from @p before to @p after at time @p at. */
+inline Signal
+step(double before, double after, double at)
+{
+    return [=](double t) { return t < at ? before : after; };
+}
+
+/** Linear ramp from @p lo to @p hi over [t0, t1], flat outside. */
+inline Signal
+ramp(double lo, double hi, double t0, double t1)
+{
+    return [=](double t) {
+        if (t <= t0)
+            return lo;
+        if (t >= t1)
+            return hi;
+        return lo + (hi - lo) * (t - t0) / (t1 - t0);
+    };
+}
+
+/** mean + amp * sin(2 pi t / period). */
+inline Signal
+sine(double mean, double amp, double period)
+{
+    return [=](double t) {
+        return mean + amp * std::sin(2.0 * M_PI * t / period);
+    };
+}
+
+/** Square wave alternating between lo and hi with the given period. */
+inline Signal
+square(double lo, double hi, double period)
+{
+    return [=](double t) {
+        const double phase = t / period - std::floor(t / period);
+        return phase < 0.5 ? hi : lo;
+    };
+}
+
+/**
+ * Periodic burst: @p hi for the first @p duty fraction of each
+ * period, @p lo otherwise — the "workload rises in the first
+ * half-interval and falls in the second" scenario from the paper's
+ * introduction.
+ */
+inline Signal
+burst(double lo, double hi, double period, double duty)
+{
+    return [=](double t) {
+        const double phase = t / period - std::floor(t / period);
+        return phase < duty ? hi : lo;
+    };
+}
+
+/**
+ * Deterministic noise wrapper: adds zero-mean uniform noise of
+ * amplitude @p amp, drawn from a seeded generator hashed by the
+ * (quantized) time so that repeated evaluation at the same t inside
+ * an RK4 step is consistent.
+ */
+inline Signal
+withNoise(Signal base, double amp, std::uint64_t seed)
+{
+    return [base = std::move(base), amp, seed](double t) {
+        const auto qt = static_cast<std::uint64_t>(t * 16.0);
+        Rng rng(seed ^ (qt * 0x9e3779b97f4a7c15ull));
+        return base(t) + amp * (2.0 * rng.uniform() - 1.0);
+    };
+}
+
+} // namespace signals
+} // namespace mcd
+
+#endif // MCDSIM_CONTROL_SIGNALS_HH

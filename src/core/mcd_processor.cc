@@ -1,0 +1,746 @@
+#include "core/mcd_processor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "dvfs/fixed_controller.hh"
+
+namespace mcd
+{
+
+const char *
+controllerKindName(ControllerKind kind)
+{
+    switch (kind) {
+      case ControllerKind::Fixed: return "fixed";
+      case ControllerKind::Adaptive: return "adaptive";
+      case ControllerKind::Pid: return "pid-fixed-interval";
+      case ControllerKind::AttackDecay: return "attack-decay";
+      case ControllerKind::Custom: return "custom";
+    }
+    panic("unknown controller kind %d", static_cast<int>(kind));
+}
+
+namespace
+{
+
+/** The three controlled domains, in driver index order. */
+constexpr DomainId controlledDomains[3] = {DomainId::Int, DomainId::Fp,
+                                           DomainId::LoadStore};
+
+std::unique_ptr<DvfsController>
+makeController(const SimConfig &cfg, const VfCurve &vf, std::size_t idx,
+               double queue_capacity)
+{
+    if (!cfg.controlDomain[idx])
+        return std::make_unique<FixedController>();
+    switch (cfg.controller) {
+      case ControllerKind::Fixed:
+        return std::make_unique<FixedController>();
+      case ControllerKind::Adaptive: {
+        AdaptiveController::Config c = cfg.adaptive;
+        c.qref = cfg.qref[idx];
+        return std::make_unique<AdaptiveController>(vf, c);
+      }
+      case ControllerKind::Pid: {
+        PidController::Config c = cfg.pid;
+        c.qref = cfg.qref[idx];
+        return std::make_unique<PidController>(vf, c);
+      }
+      case ControllerKind::AttackDecay: {
+        AttackDecayController::Config c = cfg.attackDecay;
+        c.queueCapacity = queue_capacity;
+        return std::make_unique<AttackDecayController>(vf, c);
+      }
+      case ControllerKind::Custom: {
+        if (!cfg.customController)
+            fatal("ControllerKind::Custom without a customController "
+                  "factory");
+        auto ctrl = cfg.customController(idx, vf);
+        if (!ctrl)
+            fatal("customController factory returned null");
+        return ctrl;
+      }
+    }
+    panic("unknown controller kind");
+}
+
+} // namespace
+
+McdProcessor::McdProcessor(const SimConfig &config, WorkloadSource &source)
+    : cfg(config), src(source), vf(config.vfRange),
+      bpred(config.predictor), mem(config.memory),
+      sync(SyncInterface::Config{config.syncWindow, config.mcdEnabled}),
+      energy(config.energy), reorderBuffer(config.robSize),
+      intQ("int-queue", config.intQueueSize),
+      fpQ("fp-queue", config.fpQueueSize),
+      lsQ("ls-queue", config.lsQueueSize),
+      intFus("int", config.intAlus, 1), fpFus("fp", config.fpAlus, 1),
+      sampler(*this), samplingPeriod(config.samplingPeriod()),
+      freqTraces{TimeSeries{"int-freq-ghz", config.traceStride},
+                 TimeSeries{"fp-freq-ghz", config.traceStride},
+                 TimeSeries{"ls-freq-ghz", config.traceStride}},
+      queueTraces{TimeSeries{"int-queue", config.traceStride},
+                  TimeSeries{"fp-queue", config.traceStride},
+                  TimeSeries{"ls-queue", config.traceStride}}
+{
+    if (!cfg.mcdEnabled && cfg.controller != ControllerKind::Fixed)
+        fatal("DVFS control requires the MCD configuration");
+
+    // Build the clock domains, all starting at f_max / v_max. The
+    // Fetch domain exists only in the 5-domain partition.
+    const std::size_t domain_count = cfg.fiveDomainPartition ? 5 : 4;
+    for (std::size_t d = 0; d < domain_count; ++d) {
+        ClockDomain::Config dc;
+        dc.id = static_cast<DomainId>(d);
+        dc.initialHz = vf.fMax();
+        dc.initialVolt = vf.voltageAt(vf.fMax());
+        dc.jitterEnabled = cfg.mcdEnabled && cfg.jitterEnabled;
+        dc.jitterSeed = cfg.seed * 0x9e3779b9u + d;
+        domains.push_back(std::make_unique<ClockDomain>(eq, dc));
+    }
+
+    // Controllers and drivers for the INT, FP, LS domains.
+    const double caps[3] = {static_cast<double>(cfg.intQueueSize),
+                            static_cast<double>(cfg.fpQueueSize),
+                            static_cast<double>(cfg.lsQueueSize)};
+    for (std::size_t i = 0; i < 3; ++i) {
+        controllers.push_back(makeController(cfg, vf, i, caps[i]));
+        drivers.push_back(std::make_unique<DvfsDriver>(
+            vf, cfg.dvfsModel, *controllers.back(),
+            *domains[static_cast<std::size_t>(controlledDomains[i])],
+            vf.fMax(), samplingPeriod));
+    }
+
+    // Wire the per-edge work and launch the clocks and the sampler.
+    domains[0]->start([this] { frontEndTick(); });
+    domains[1]->start([this] {
+        clusterTick(DomainId::Int, intQ, intFus, cfg.intIssueWidth);
+    });
+    domains[2]->start([this] {
+        clusterTick(DomainId::Fp, fpQ, fpFus, cfg.fpIssueWidth);
+    });
+    domains[3]->start([this] { loadStoreTick(); });
+    if (cfg.fiveDomainPartition)
+        domains[4]->start([this] { fetchTick(); });
+    eq.schedule(&sampler, samplingPeriod);
+}
+
+McdProcessor::~McdProcessor() = default;
+
+const ClockDomain &
+McdProcessor::domain(DomainId id) const
+{
+    return *domains[static_cast<std::size_t>(id)];
+}
+
+std::uint64_t
+McdProcessor::retiredInstructions() const
+{
+    return reorderBuffer.retiredCount();
+}
+
+Tick
+McdProcessor::crossPenalty() const
+{
+    return cfg.mcdEnabled ? cfg.syncWindow : 0;
+}
+
+DomainId
+McdProcessor::domainFor(InstClass cls) const
+{
+    if (isFp(cls))
+        return DomainId::Fp;
+    if (isMem(cls))
+        return DomainId::LoadStore;
+    return DomainId::Int; // int ops and branches
+}
+
+IssueQueue &
+McdProcessor::queueFor(InstClass cls)
+{
+    switch (domainFor(cls)) {
+      case DomainId::Fp: return fpQ;
+      case DomainId::LoadStore: return lsQ;
+      default: return intQ;
+    }
+}
+
+DvfsDriver *
+McdProcessor::driverFor(DomainId dom)
+{
+    for (std::size_t i = 0; i < 3; ++i) {
+        if (controlledDomains[i] == dom)
+            return drivers[i].get();
+    }
+    return nullptr;
+}
+
+Tick
+McdProcessor::srcReadyTime(const DynInst &inst, DomainId consumer) const
+{
+    Tick ready = 0;
+    for (int i = 0; i < 2; ++i) {
+        const std::uint16_t dist = inst.in.srcDist[i];
+        if (dist == 0 || dist >= inst.seq)
+            continue;
+        const Tick t = completion.readyTime(inst.seq - dist, consumer,
+                                            crossPenalty());
+        if (t > ready)
+            ready = t;
+    }
+    return ready;
+}
+
+// ---------------------------------------------------------------- front end
+
+void
+McdProcessor::retireStage(Tick now, unsigned &retired_this_cycle)
+{
+    while (retired_this_cycle < cfg.retireWidth && !reorderBuffer.empty()) {
+        DynInst *head = reorderBuffer.head();
+        if (head->completeTime == maxTick)
+            break;
+        const DomainId prod = domainFor(head->in.cls);
+        const Tick visible =
+            head->completeTime +
+            (prod == DomainId::FrontEnd ? 0 : crossPenalty());
+        if (visible > now)
+            break;
+        reorderBuffer.retireHead();
+        ++retired_this_cycle;
+        energy.addEvent(DomainId::FrontEnd, EnergyCategory::Retire,
+                        energy.config().retirePerInst,
+                        domains[0]->voltage());
+    }
+}
+
+bool
+McdProcessor::evaluateBranch(const TraceInst &b)
+{
+    const BranchPrediction pred = bpred.predict(b.pc);
+
+    const bool dir_ok = pred.taken == b.taken;
+    const bool tgt_ok =
+        !b.taken || (pred.btbHit && pred.target == b.target);
+    bpred.recordOutcome(dir_ok, dir_ok ? tgt_ok : false);
+    bpred.update(b.pc, b.taken, b.target);
+
+    // Wrong direction, or taken with no usable target: full redirect.
+    return !dir_ok || (b.taken && !tgt_ok);
+}
+
+bool
+McdProcessor::handleBranchAtDispatch(DynInst *inst)
+{
+    const bool mispredict = evaluateBranch(inst->in);
+    if (mispredict) {
+        inst->mispredicted = true;
+        blockedBranchSeq = inst->seq;
+        ++mispredicts;
+    }
+    return mispredict;
+}
+
+void
+McdProcessor::dispatchStage(Tick now, unsigned &dispatched_this_cycle)
+{
+    // A mispredicted branch blocks fetch until its resolution time is
+    // known (it issues) and has passed, plus the redirect penalty.
+    if (blockedBranchSeq != 0) {
+        const Tick t = completion.readyTime(
+            blockedBranchSeq, DomainId::FrontEnd, crossPenalty());
+        if (t == maxTick) {
+            ++feBranchBlocked;
+            return; // still unresolved
+        }
+        const Tick resume =
+            t + Tick(cfg.branchRedirectCycles) * domains[0]->period();
+        fetchStallUntil = std::max(fetchStallUntil, resume);
+        blockedBranchSeq = 0;
+    }
+    if (now < fetchStallUntil) {
+        ++feFetchStalled;
+        return;
+    }
+
+    const Volt fe_volt = domains[0]->voltage();
+    while (dispatched_this_cycle < cfg.fetchWidth) {
+        if (!havePending) {
+            if (traceExhausted || !src.next(pendingInst)) {
+                traceExhausted = true;
+                break;
+            }
+            havePending = true;
+        }
+
+        // Instruction-cache access, one per line change.
+        const Addr line = pendingInst.pc / cfg.memory.l1i.lineBytes;
+        if (line != lastFetchLine) {
+            const MemAccessResult res = mem.fetchAccess(pendingInst.pc);
+            lastFetchLine = line;
+            energy.addEvent(DomainId::FrontEnd, EnergyCategory::Cache,
+                            energy.config().l1AccessEnergy, fe_volt);
+            if (res.level != MemLevel::L1) {
+                energy.addEvent(DomainId::FrontEnd, EnergyCategory::Cache,
+                                energy.config().l2AccessEnergy, fe_volt);
+                fetchStallUntil = now + res.beyondL1Latency;
+                break;
+            }
+        }
+
+        if (reorderBuffer.full()) {
+            ++feRobFull;
+            break;
+        }
+        IssueQueue &q = queueFor(pendingInst.cls);
+        if (q.full()) {
+            ++feQueueFull;
+            break;
+        }
+
+        DynInst *inst = reorderBuffer.allocate();
+        inst->in = pendingInst;
+        inst->seq = nextSeq++;
+        havePending = false;
+
+        const DomainId exec_dom = domainFor(inst->in.cls);
+        completion.beginInst(inst->seq, exec_dom);
+        inst->dispatchTime = now;
+        // The queue write launches mid-way through the dispatching
+        // front-end cycle (dispatch logic settles well before the next
+        // edge); the consumer captures it at its first edge from then
+        // on. Synchronization cost follows the interface-queue
+        // behaviour of Section 2: a write into a NON-empty queue needs
+        // no synchronization (older entries are already settled and
+        // FIFO order protects the new one), while a write that the
+        // consumer could race ahead to — an empty-queue handoff — pays
+        // the 300 ps window rule and may slip one consumer cycle.
+        const Tick write_time = now + domains[0]->period() / 2;
+        inst->queueVisibleTime =
+            (cfg.mcdEnabled && q.empty())
+                ? sync.visibleAt(
+                      *domains[static_cast<std::size_t>(exec_dom)],
+                      write_time)
+                : write_time;
+        q.insert(inst);
+        ++dispatched_this_cycle;
+
+        const auto &ec = energy.config();
+        energy.addEvent(DomainId::FrontEnd, EnergyCategory::Fetch,
+                        ec.fetchPerInst, fe_volt);
+        energy.addEvent(DomainId::FrontEnd, EnergyCategory::Rename,
+                        ec.renamePerInst, fe_volt);
+        energy.addEvent(DomainId::FrontEnd, EnergyCategory::Rob,
+                        ec.robPerInst, fe_volt);
+        energy.addEvent(
+            exec_dom, EnergyCategory::IssueQueue, ec.iqWritePerInst,
+            domains[static_cast<std::size_t>(exec_dom)]->voltage());
+
+        if (inst->in.cls == InstClass::Branch &&
+            handleBranchAtDispatch(inst)) {
+            break;
+        }
+    }
+}
+
+void
+McdProcessor::frontEndTick()
+{
+    const Tick now = eq.now();
+    unsigned retired = 0;
+    unsigned dispatched = 0;
+
+    ++feCycles;
+    robOccupancySum += static_cast<double>(reorderBuffer.occupancy());
+    retireStage(now, retired);
+    if (cfg.fiveDomainPartition)
+        dispatchFromBuffer(now, dispatched);
+    else
+        dispatchStage(now, dispatched);
+
+    energy.addClockCycle(DomainId::FrontEnd, domains[0]->voltage(),
+                         retired > 0 || dispatched > 0);
+
+    if (maxInstructions != 0 &&
+        reorderBuffer.retiredCount() >= maxInstructions) {
+        done = true;
+    }
+    if (traceExhausted && !havePending && fetchBuffer.empty() &&
+        reorderBuffer.empty()) {
+        done = true;
+    }
+}
+
+// --------------------------------------------------- 5-domain fetch stage
+
+void
+McdProcessor::fetchTick()
+{
+    const Tick now = eq.now();
+    ClockDomain &fd = *domains[static_cast<std::size_t>(DomainId::Fetch)];
+    unsigned fetched = 0;
+
+    // Resolution of a blocked mispredicted branch: once dispatch has
+    // assigned it a sequence number, wait for its completion plus the
+    // redirect penalty.
+    if (fetchWaitingResolve && blockedBranchSeq != 0) {
+        const Tick t = completion.readyTime(
+            blockedBranchSeq, DomainId::Fetch, crossPenalty());
+        if (t != maxTick) {
+            const Tick resume =
+                t + Tick(cfg.branchRedirectCycles) * fd.period();
+            fetchStallUntil = std::max(fetchStallUntil, resume);
+            fetchWaitingResolve = false;
+            blockedBranchSeq = 0;
+        }
+    }
+
+    if (!fetchWaitingResolve && now >= fetchStallUntil) {
+        const Volt fv = fd.voltage();
+        while (fetched < cfg.fetchWidth &&
+               fetchBuffer.size() < cfg.fetchBufferSize) {
+            if (!havePending) {
+                if (traceExhausted || !src.next(pendingInst)) {
+                    traceExhausted = true;
+                    break;
+                }
+                havePending = true;
+            }
+
+            // Instruction-cache access, one per line change, charged
+            // to the fetch domain.
+            const Addr line = pendingInst.pc / cfg.memory.l1i.lineBytes;
+            if (line != lastFetchLine) {
+                const MemAccessResult res =
+                    mem.fetchAccess(pendingInst.pc);
+                lastFetchLine = line;
+                energy.addEvent(DomainId::Fetch, EnergyCategory::Cache,
+                                energy.config().l1AccessEnergy, fv);
+                if (res.level != MemLevel::L1) {
+                    energy.addEvent(DomainId::Fetch,
+                                    EnergyCategory::Cache,
+                                    energy.config().l2AccessEnergy, fv);
+                    fetchStallUntil = now + res.beyondL1Latency;
+                    break;
+                }
+            }
+
+            FetchedInst fe;
+            fe.in = pendingInst;
+            havePending = false;
+            // Settles mid-cycle, then synchronizes into the dispatch
+            // domain.
+            fe.visibleTime = now + fd.period() / 2 + crossPenalty();
+            fe.mispredicted = false;
+            energy.addEvent(DomainId::Fetch, EnergyCategory::Fetch,
+                            energy.config().fetchPerInst, fv);
+
+            if (fe.in.cls == InstClass::Branch &&
+                evaluateBranch(fe.in)) {
+                fe.mispredicted = true;
+                fetchWaitingResolve = true;
+                ++mispredicts;
+            }
+            fetchBuffer.push_back(fe);
+            ++fetched;
+            if (fe.mispredicted)
+                break;
+        }
+    }
+    energy.addClockCycle(DomainId::Fetch, fd.voltage(), fetched > 0);
+}
+
+void
+McdProcessor::dispatchFromBuffer(Tick now, unsigned &dispatched_this_cycle)
+{
+    const Volt fe_volt = domains[0]->voltage();
+    while (dispatched_this_cycle < cfg.fetchWidth &&
+           !fetchBuffer.empty()) {
+        const FetchedInst &fe = fetchBuffer.front();
+        if (fe.visibleTime > now)
+            break;
+        if (reorderBuffer.full()) {
+            ++feRobFull;
+            break;
+        }
+        IssueQueue &q = queueFor(fe.in.cls);
+        if (q.full()) {
+            ++feQueueFull;
+            break;
+        }
+
+        DynInst *inst = reorderBuffer.allocate();
+        inst->in = fe.in;
+        inst->seq = nextSeq++;
+
+        const DomainId exec_dom = domainFor(inst->in.cls);
+        completion.beginInst(inst->seq, exec_dom);
+        inst->dispatchTime = now;
+        const Tick write_time = now + domains[0]->period() / 2;
+        inst->queueVisibleTime =
+            (cfg.mcdEnabled && q.empty())
+                ? sync.visibleAt(
+                      *domains[static_cast<std::size_t>(exec_dom)],
+                      write_time)
+                : write_time;
+        q.insert(inst);
+        ++dispatched_this_cycle;
+
+        const auto &ec = energy.config();
+        energy.addEvent(DomainId::FrontEnd, EnergyCategory::Rename,
+                        ec.renamePerInst, fe_volt);
+        energy.addEvent(DomainId::FrontEnd, EnergyCategory::Rob,
+                        ec.robPerInst, fe_volt);
+        energy.addEvent(
+            exec_dom, EnergyCategory::IssueQueue, ec.iqWritePerInst,
+            domains[static_cast<std::size_t>(exec_dom)]->voltage());
+
+        if (fe.mispredicted) {
+            inst->mispredicted = true;
+            blockedBranchSeq = inst->seq;
+        }
+        fetchBuffer.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------- clusters
+
+void
+McdProcessor::clusterTick(DomainId dom, IssueQueue &queue, ClusterFus &fus,
+                          std::uint32_t width)
+{
+    const Tick now = eq.now();
+    ClockDomain &d = *domains[static_cast<std::size_t>(dom)];
+    DvfsDriver *drv = driverFor(dom);
+
+    unsigned issued = 0;
+    DynInst *selected[16];
+    std::size_t n_selected = 0;
+
+    const bool stalled = drv != nullptr && drv->stalled(now);
+    if (!stalled) {
+        queue.forEachVisible(now, [&](DynInst *inst) {
+            if (issued >= width || n_selected >= std::size(selected))
+                return false;
+            if (srcReadyTime(*inst, dom) > now)
+                return true; // operands pending: try younger entries
+            FuPool &pool = fus.poolFor(inst->in.cls);
+            if (!pool.available(now))
+                return true;
+
+            const unsigned lat = instLatency(inst->in.cls);
+            const Tick complete = now + Tick(lat) * d.period();
+            pool.acquire(now, ClusterFus::blocking(inst->in.cls)
+                                  ? complete
+                                  : now + d.period());
+            inst->issued = true;
+            inst->issueTime = now;
+            inst->completeTime = complete;
+            completion.complete(inst->seq, complete);
+            selected[n_selected++] = inst;
+            ++issued;
+
+            const auto &ec = energy.config();
+            const bool muldiv = &pool == &fus.muldiv;
+            const double e =
+                isFp(inst->in.cls)
+                    ? (muldiv ? ec.fpMulDivOp : ec.fpAluOp)
+                    : (muldiv ? ec.intMulDivOp : ec.intAluOp);
+            energy.addEvent(dom, EnergyCategory::Execute, e, d.voltage());
+            return true;
+        });
+        for (std::size_t i = 0; i < n_selected; ++i)
+            queue.erase(selected[i]);
+    }
+
+    if (queue.occupancy() > 0) {
+        energy.addEvent(dom, EnergyCategory::IssueQueue,
+                        energy.config().iqWakeupPerEntry, d.voltage(),
+                        static_cast<double>(queue.occupancy()));
+    }
+    energy.addClockCycle(dom, d.voltage(), issued > 0 || !queue.empty());
+}
+
+void
+McdProcessor::loadStoreTick()
+{
+    const Tick now = eq.now();
+    ClockDomain &d = *domains[static_cast<std::size_t>(DomainId::LoadStore)];
+    DvfsDriver *drv = driverFor(DomainId::LoadStore);
+
+    // Retire completed misses from the MSHRs.
+    std::erase_if(outstandingMisses, [now](Tick t) { return t <= now; });
+
+    unsigned issued = 0;
+    DynInst *selected[16];
+    std::size_t n_selected = 0;
+
+    const bool stalled = drv != nullptr && drv->stalled(now);
+    if (!stalled) {
+        const auto &ec = energy.config();
+        lsQ.forEachVisible(now, [&](DynInst *inst) {
+            if (issued >= cfg.lsIssueWidth ||
+                n_selected >= std::size(selected)) {
+                return false;
+            }
+            if (srcReadyTime(*inst, DomainId::LoadStore) > now)
+                return true;
+            const bool is_load = inst->in.cls == InstClass::Load;
+            if (is_load && outstandingMisses.size() >= cfg.mshrCount)
+                return true; // no MSHR for a potential miss
+
+            Tick complete;
+            if (is_load) {
+                const MemAccessResult res = mem.dataAccess(inst->in.addr);
+                const Tick base =
+                    now + Tick(1 + cfg.l1dHitCycles) * d.period();
+                energy.addEvent(DomainId::LoadStore, EnergyCategory::Cache,
+                                ec.l1AccessEnergy, d.voltage());
+                if (res.level != MemLevel::L1) {
+                    energy.addEvent(DomainId::LoadStore,
+                                    EnergyCategory::Cache,
+                                    ec.l2AccessEnergy, d.voltage());
+                    complete = base + res.beyondL1Latency;
+                    outstandingMisses.push_back(complete);
+                    inst->l1dMiss = true;
+                } else {
+                    complete = base;
+                }
+            } else {
+                // Store: completes at address generation; the store
+                // buffer hides the write latency. Tag access still
+                // costs energy (write-allocate).
+                mem.dataAccess(inst->in.addr);
+                energy.addEvent(DomainId::LoadStore, EnergyCategory::Cache,
+                                ec.l1AccessEnergy, d.voltage());
+                complete = now + d.period();
+            }
+
+            inst->issued = true;
+            inst->issueTime = now;
+            inst->completeTime = complete;
+            completion.complete(inst->seq, complete);
+            selected[n_selected++] = inst;
+            ++issued;
+            return true;
+        });
+        for (std::size_t i = 0; i < n_selected; ++i)
+            lsQ.erase(selected[i]);
+    }
+
+    if (lsQ.occupancy() > 0) {
+        energy.addEvent(DomainId::LoadStore, EnergyCategory::IssueQueue,
+                        energy.config().iqWakeupPerEntry, d.voltage(),
+                        static_cast<double>(lsQ.occupancy()));
+    }
+    energy.addClockCycle(DomainId::LoadStore, d.voltage(),
+                         issued > 0 || !lsQ.empty());
+}
+
+// ---------------------------------------------------------------- sampler
+
+void
+McdProcessor::samplerTick()
+{
+    const Tick now = eq.now();
+    const IssueQueue *queues[3] = {&intQ, &fpQ, &lsQ};
+    for (std::size_t i = 0; i < 3; ++i) {
+        const auto occ = static_cast<double>(queues[i]->occupancy());
+        drivers[i]->sampleTick(now, occ);
+        freqSum[i] += drivers[i]->currentHz();
+        queueSum[i] += occ;
+        if (cfg.recordTraces) {
+            freqTraces[i].add(now, drivers[i]->currentHz() / 1e9);
+            queueTraces[i].add(now, occ);
+        }
+    }
+    ++sampleCount;
+    eq.schedule(&sampler, now + samplingPeriod);
+}
+
+// ---------------------------------------------------------------- run
+
+SimResult
+McdProcessor::run(std::uint64_t max_instructions)
+{
+    maxInstructions = max_instructions;
+    while (!done) {
+        if (!eq.step())
+            panic("event queue drained before the run completed");
+    }
+    finalizeEnergy();
+    return collectResult();
+}
+
+void
+McdProcessor::finalizeEnergy()
+{
+    for (std::size_t d = 0; d < domains.size(); ++d) {
+        domains[d]->accrueVoltageTime();
+        energy.addLeakage(static_cast<DomainId>(d),
+                          domains[d]->voltSquaredSeconds());
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::uint64_t t = 0; t < drivers[i]->transitionCount(); ++t)
+            energy.addRegulatorTransition(controlledDomains[i]);
+    }
+}
+
+SimResult
+McdProcessor::collectResult()
+{
+    SimResult r;
+    r.benchmark = src.name();
+    r.controller = controllers[0]->name();
+    r.instructions = reorderBuffer.retiredCount();
+    r.wallTicks = eq.now();
+    r.energy = energy.totalEnergy();
+
+    for (std::size_t i = 0; i < 3; ++i) {
+        DomainResult &dr = r.domains[i];
+        if (sampleCount > 0) {
+            dr.avgFrequency =
+                freqSum[i] / static_cast<double>(sampleCount);
+            dr.avgQueueOccupancy =
+                queueSum[i] / static_cast<double>(sampleCount);
+        }
+        dr.transitions = drivers[i]->transitionCount();
+        dr.controllerStats = controllers[i]->stats();
+        dr.energy = energy.domainEnergy(controlledDomains[i]);
+    }
+
+    for (std::size_t d = 0; d < numDomains; ++d) {
+        for (std::size_t c = 0; c < numEnergyCategories; ++c) {
+            r.energyBreakdown[d][c] =
+                energy.cell(static_cast<DomainId>(d),
+                            static_cast<EnergyCategory>(c));
+        }
+    }
+
+    r.feCycles = feCycles;
+    r.feCyclesFetchStalled = feFetchStalled;
+    r.feCyclesBranchBlocked = feBranchBlocked;
+    r.feCyclesRobFull = feRobFull;
+    r.feCyclesQueueFull = feQueueFull;
+    r.avgRobOccupancy =
+        feCycles ? robOccupancySum / static_cast<double>(feCycles) : 0.0;
+
+    r.branchDirectionAccuracy = bpred.directionAccuracy();
+    r.l1dMissRate = mem.l1d().missRate();
+    r.l2MissRate = mem.l2().missRate();
+    r.syncCrossings = sync.crossingCount();
+    r.syncPenalties = sync.penaltyCount();
+
+    if (cfg.recordTraces) {
+        r.intFreqTrace = std::move(freqTraces[0]);
+        r.fpFreqTrace = std::move(freqTraces[1]);
+        r.lsFreqTrace = std::move(freqTraces[2]);
+        r.intQueueTrace = std::move(queueTraces[0]);
+        r.fpQueueTrace = std::move(queueTraces[1]);
+        r.lsQueueTrace = std::move(queueTraces[2]);
+    }
+    return r;
+}
+
+} // namespace mcd

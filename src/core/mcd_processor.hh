@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The complete MCD processor model: four GALS clock domains (Figure 1)
+ * around a trace-driven out-of-order pipeline, with per-domain online
+ * DVFS on the INT, FP, and LS domains (the front end runs at fixed
+ * maximum speed, as in all the paper's experiments).
+ *
+ * Domain responsibilities per clock edge:
+ *  - front end: retire from the ROB (width 11), then fetch/decode/
+ *    rename/dispatch (width 4) into the per-cluster issue queues,
+ *    consulting the I-cache and branch predictor; a mispredicted
+ *    branch blocks fetch until it resolves plus a redirect penalty
+ *    (classic trace-driven approximation);
+ *  - INT / FP cluster: oldest-first select of ready, visible entries
+ *    up to the cluster issue width, constrained by functional units;
+ *  - LS cluster: same, with L1D/L2/memory latency on loads, MSHR
+ *    occupancy limits, and store completion at address generation
+ *    (store buffer assumed).
+ *
+ * Cross-domain values (queue entries, operand wakeups, completion
+ * broadcasts) become usable only syncWindow after production, which
+ * the consumer observes at its next clock edge — the Sjogren-Myers
+ * interface behaviour of Section 2.
+ *
+ * A sampler event fires at the 250 MHz sampling rate and feeds each
+ * controlled domain's queue occupancy to its DVFS driver.
+ *
+ * Documented simplifications versus the Rochester simulator: the
+ * 72+72 physical register file and the 64-entry LS retire buffer are
+ * not separate stall sources (the ROB and queue capacities dominate),
+ * and stores complete at address generation.
+ */
+
+#ifndef MCDSIM_CORE_MCD_PROCESSOR_HH
+#define MCDSIM_CORE_MCD_PROCESSOR_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "arch/branch_predictor.hh"
+#include "arch/completion_table.hh"
+#include "arch/fu_pool.hh"
+#include "arch/issue_queue.hh"
+#include "arch/rob.hh"
+#include "core/metrics.hh"
+#include "core/sim_config.hh"
+#include "dvfs/dvfs_driver.hh"
+#include "mcd/clock_domain.hh"
+#include "mcd/sync_interface.hh"
+#include "mem/memory_system.hh"
+#include "power/energy_model.hh"
+#include "sim/event_queue.hh"
+#include "workload/source.hh"
+
+namespace mcd
+{
+
+/** One processor simulation instance (single use: construct, run). */
+class McdProcessor
+{
+  public:
+    McdProcessor(const SimConfig &config, WorkloadSource &source);
+    ~McdProcessor();
+
+    McdProcessor(const McdProcessor &) = delete;
+    McdProcessor &operator=(const McdProcessor &) = delete;
+
+    /**
+     * Run until the trace is exhausted and the pipeline drains, or
+     * @p max_instructions have retired (0 = no limit).
+     */
+    SimResult run(std::uint64_t max_instructions = 0);
+
+    /** @{ Introspection for tests. */
+    EventQueue &eventQueue() { return eq; }
+    const Rob &rob() const { return reorderBuffer; }
+    const IssueQueue &intQueue() const { return intQ; }
+    const IssueQueue &fpQueue() const { return fpQ; }
+    const IssueQueue &lsQueue() const { return lsQ; }
+    const ClockDomain &domain(DomainId id) const;
+    const DvfsDriver &driver(std::size_t idx) const { return *drivers[idx]; }
+    const EnergyModel &energyModel() const { return energy; }
+    const BranchPredictor &predictor() const { return bpred; }
+    const MemorySystem &memory() const { return mem; }
+    std::uint64_t retiredInstructions() const;
+    /** @} */
+
+  private:
+    class SamplerEvent : public Event
+    {
+      public:
+        explicit SamplerEvent(McdProcessor &processor)
+            : Event(50), proc(processor)
+        {}
+
+        void process() override { proc.samplerTick(); }
+        const char *name() const override { return "dvfs-sampler"; }
+
+      private:
+        McdProcessor &proc;
+    };
+
+    /** @{ Per-domain edge work. */
+    void frontEndTick();
+    void fetchTick(); ///< 5-domain partition only
+    void clusterTick(DomainId dom, IssueQueue &queue, ClusterFus &fus,
+                     std::uint32_t width);
+    void loadStoreTick();
+    void samplerTick();
+    /** @} */
+
+    void retireStage(Tick now, unsigned &retired_this_cycle);
+    void dispatchStage(Tick now, unsigned &dispatched_this_cycle);
+    void dispatchFromBuffer(Tick now, unsigned &dispatched_this_cycle);
+    bool handleBranchAtDispatch(DynInst *inst);
+
+    /**
+     * Predict, train, and account the branch at @p in; returns true
+     * on a mispredict (full redirect needed). Shared by the 4-domain
+     * dispatch path and the 5-domain fetch path.
+     */
+    bool evaluateBranch(const TraceInst &in);
+    Tick srcReadyTime(const DynInst &inst, DomainId consumer) const;
+    IssueQueue &queueFor(InstClass cls);
+    DomainId domainFor(InstClass cls) const;
+    DvfsDriver *driverFor(DomainId dom);
+    Tick crossPenalty() const;
+    void finalizeEnergy();
+    SimResult collectResult();
+
+    SimConfig cfg;
+    WorkloadSource &src;
+
+    EventQueue eq;
+
+    // Clock domains (order matches DomainId).
+    std::vector<std::unique_ptr<ClockDomain>> domains;
+
+    VfCurve vf;
+    std::vector<std::unique_ptr<DvfsController>> controllers; // INT,FP,LS
+    std::vector<std::unique_ptr<DvfsDriver>> drivers;         // INT,FP,LS
+
+    BranchPredictor bpred;
+    MemorySystem mem;
+    SyncInterface sync;
+    EnergyModel energy;
+
+    Rob reorderBuffer;
+    IssueQueue intQ;
+    IssueQueue fpQ;
+    IssueQueue lsQ;
+    ClusterFus intFus;
+    ClusterFus fpFus;
+    CompletionTable completion;
+
+    SamplerEvent sampler;
+    Tick samplingPeriod;
+
+    // Front-end state.
+    InstSeqNum nextSeq = 1;
+    TraceInst pendingInst{};
+    bool havePending = false;
+    bool traceExhausted = false;
+    Tick fetchStallUntil = 0;
+    InstSeqNum blockedBranchSeq = 0;
+    Addr lastFetchLine = ~Addr(0);
+
+    // Fetch buffer between the fetch and dispatch domains (5-domain
+    // partition only).
+    struct FetchedInst
+    {
+        TraceInst in;
+        Tick visibleTime;
+        bool mispredicted;
+    };
+    std::deque<FetchedInst> fetchBuffer;
+    bool fetchWaitingResolve = false;
+
+    // Load/store state.
+    std::vector<Tick> outstandingMisses;
+
+    // Run bookkeeping.
+    std::uint64_t maxInstructions = 0;
+    bool done = false;
+    std::uint64_t mispredicts = 0;
+
+    // Front-end stall accounting.
+    std::uint64_t feCycles = 0;
+    std::uint64_t feFetchStalled = 0;
+    std::uint64_t feBranchBlocked = 0;
+    std::uint64_t feRobFull = 0;
+    std::uint64_t feQueueFull = 0;
+    double robOccupancySum = 0.0;
+
+    // Sampled accumulators for the result.
+    std::array<double, 3> freqSum{};
+    std::array<double, 3> queueSum{};
+    std::uint64_t sampleCount = 0;
+
+    // Optional traces.
+    std::array<TimeSeries, 3> freqTraces;
+    std::array<TimeSeries, 3> queueTraces;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_CORE_MCD_PROCESSOR_HH

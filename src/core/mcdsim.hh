@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Umbrella header: the public API of the mcdsim library.
+ *
+ * Quickstart:
+ * @code
+ *   #include "core/mcdsim.hh"
+ *
+ *   mcd::RunOptions opts;
+ *   opts.instructions = 1'000'000;
+ *   auto base = mcd::runSynchronousBaseline("epic_decode", opts);
+ *   auto run = mcd::runBenchmark("epic_decode",
+ *                                mcd::ControllerKind::Adaptive, opts);
+ *   auto delta = mcd::compare(run, base);
+ *   // delta.energySavings, delta.perfDegradation, ...
+ * @endcode
+ */
+
+#ifndef MCDSIM_CORE_MCDSIM_HH
+#define MCDSIM_CORE_MCDSIM_HH
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+#include "control/abstract_plant.hh"
+#include "control/controller_model.hh"
+#include "control/signals.hh"
+#include "core/mcd_processor.hh"
+#include "core/metrics.hh"
+#include "core/report.hh"
+#include "core/runner.hh"
+#include "core/sim_config.hh"
+#include "dvfs/adaptive_controller.hh"
+#include "dvfs/attack_decay_controller.hh"
+#include "dvfs/fixed_controller.hh"
+#include "dvfs/hardware_cost.hh"
+#include "dvfs/pid_controller.hh"
+#include "spectrum/psd.hh"
+#include "stats/histogram.hh"
+#include "stats/summary.hh"
+#include "stats/time_series.hh"
+#include "workload/benchmarks.hh"
+#include "workload/trace_file.hh"
+
+#endif // MCDSIM_CORE_MCDSIM_HH

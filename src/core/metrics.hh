@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Results of one simulation run and the derived comparison metrics
+ * the paper's evaluation reports (energy savings, performance
+ * degradation, energy-delay product improvement).
+ */
+
+#ifndef MCDSIM_CORE_METRICS_HH
+#define MCDSIM_CORE_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "dvfs/controller.hh"
+#include "mcd/clock_domain.hh"
+#include "power/energy_model.hh"
+#include "stats/time_series.hh"
+
+namespace mcd
+{
+
+/** Per-controlled-domain outcome (INT, FP, LS). */
+struct DomainResult
+{
+    /** Time-average frequency, Hz. */
+    double avgFrequency = 0.0;
+
+    /** Time-average queue occupancy (sampled at 250 MHz). */
+    double avgQueueOccupancy = 0.0;
+
+    /** DVFS transitions initiated. */
+    std::uint64_t transitions = 0;
+
+    /** Controller decision counters. */
+    ControllerStats controllerStats{};
+
+    /** Energy consumed by this domain, joules. */
+    double energy = 0.0;
+};
+
+/** Everything measured in one run. */
+struct SimResult
+{
+    std::string benchmark;
+    std::string controller;
+
+    std::uint64_t instructions = 0;
+    Tick wallTicks = 0;
+
+    double seconds() const { return ticksToSeconds(wallTicks); }
+
+    /** Aggregate throughput, instructions per second. */
+    double
+    instructionsPerSecond() const
+    {
+        const double s = seconds();
+        return s > 0.0 ? static_cast<double>(instructions) / s : 0.0;
+    }
+
+    /** Total processor energy, joules. */
+    double energy = 0.0;
+
+    /** Energy-delay product, J*s. */
+    double edp() const { return energy * seconds(); }
+
+    /** Energy-delay^2, J*s^2. */
+    double ed2p() const { return energy * seconds() * seconds(); }
+
+    /** Per-domain detail, indexed 0=INT, 1=FP, 2=LS. */
+    std::array<DomainResult, 3> domains{};
+
+    /** Per-domain per-category energies. */
+    std::array<std::array<double, numEnergyCategories>, numDomains>
+        energyBreakdown{};
+
+    /** @{ Microarchitectural sanity stats. */
+    double branchDirectionAccuracy = 1.0;
+    double l1dMissRate = 0.0;
+    double l2MissRate = 0.0;
+    std::uint64_t syncCrossings = 0;
+    std::uint64_t syncPenalties = 0;
+    /** @} */
+
+    /** @{ Front-end cycle accounting (per front-end cycle). */
+    std::uint64_t feCycles = 0;
+    std::uint64_t feCyclesFetchStalled = 0;  ///< I-miss or redirect wait
+    std::uint64_t feCyclesBranchBlocked = 0; ///< unresolved mispredict
+    std::uint64_t feCyclesRobFull = 0;
+    std::uint64_t feCyclesQueueFull = 0;     ///< a cluster queue was full
+    double avgRobOccupancy = 0.0;
+    /** @} */
+
+    /** Optional traces (present when SimConfig::recordTraces). */
+    TimeSeries intFreqTrace{"int-freq-ghz"};
+    TimeSeries fpFreqTrace{"fp-freq-ghz"};
+    TimeSeries lsFreqTrace{"ls-freq-ghz"};
+    TimeSeries intQueueTrace{"int-queue"};
+    TimeSeries fpQueueTrace{"fp-queue"};
+    TimeSeries lsQueueTrace{"ls-queue"};
+};
+
+/** Relative metrics against a baseline run (same benchmark). */
+struct Comparison
+{
+    /** 1 - E/E_base, positive is better. */
+    double energySavings = 0.0;
+
+    /** T/T_base - 1, positive is worse. */
+    double perfDegradation = 0.0;
+
+    /** 1 - EDP/EDP_base, positive is better. */
+    double edpImprovement = 0.0;
+};
+
+/** Compare @p run against @p baseline. */
+inline Comparison
+compare(const SimResult &run, const SimResult &baseline)
+{
+    Comparison out;
+    if (baseline.energy > 0.0)
+        out.energySavings = 1.0 - run.energy / baseline.energy;
+    if (baseline.wallTicks > 0)
+        out.perfDegradation =
+            static_cast<double>(run.wallTicks) /
+                static_cast<double>(baseline.wallTicks) -
+            1.0;
+    const double base_edp = baseline.edp();
+    if (base_edp > 0.0)
+        out.edpImprovement = 1.0 - run.edp() / base_edp;
+    return out;
+}
+
+} // namespace mcd
+
+#endif // MCDSIM_CORE_METRICS_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Result serialization: emit SimResult / ComparisonRow collections as
+ * CSV (for spreadsheets and plotting scripts) or a small JSON document
+ * (for downstream tooling). Used by the CLI tool and available to
+ * library users.
+ */
+
+#ifndef MCDSIM_CORE_REPORT_HH
+#define MCDSIM_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "core/runner.hh"
+
+namespace mcd
+{
+
+/** Column header shared by all CSV result rows. */
+std::string resultCsvHeader();
+
+/** One CSV row for a run (no trailing newline). */
+std::string resultCsvRow(const SimResult &r);
+
+/** Header + one row per result. */
+void writeResultsCsv(std::ostream &os,
+                     const std::vector<SimResult> &results);
+
+/** Comparison table (benchmark, scheme, deltas vs baseline). */
+std::string comparisonCsvHeader();
+std::string comparisonCsvRow(const ComparisonRow &row);
+void writeComparisonCsv(std::ostream &os,
+                        const std::vector<ComparisonRow> &rows);
+
+/**
+ * Serialize one result as a JSON object (flat; per-domain fields are
+ * nested arrays). Deterministic field order.
+ */
+std::string resultJson(const SimResult &r, int indent = 2);
+
+} // namespace mcd
+
+#endif // MCDSIM_CORE_REPORT_HH

@@ -1,0 +1,80 @@
+#include "core/runner.hh"
+
+#include "core/mcd_processor.hh"
+#include "workload/benchmarks.hh"
+
+namespace mcd
+{
+
+SimResult
+runBenchmark(const std::string &benchmark, ControllerKind kind,
+             const RunOptions &opts)
+{
+    SimConfig cfg = opts.config;
+    cfg.controller = kind;
+    cfg.seed = opts.seed;
+    cfg.recordTraces = opts.recordTraces;
+    if (kind != ControllerKind::Fixed)
+        cfg.mcdEnabled = true;
+
+    auto source = makeBenchmark(benchmark, opts.instructions, opts.seed);
+    McdProcessor proc(cfg, *source);
+    SimResult r = proc.run(opts.instructions);
+    r.controller = controllerKindName(kind);
+    return r;
+}
+
+SimResult
+runSynchronousBaseline(const std::string &benchmark, const RunOptions &opts)
+{
+    SimConfig cfg = opts.config;
+    cfg.controller = ControllerKind::Fixed;
+    cfg.mcdEnabled = false;
+    cfg.jitterEnabled = false;
+    cfg.seed = opts.seed;
+    cfg.recordTraces = opts.recordTraces;
+
+    auto source = makeBenchmark(benchmark, opts.instructions, opts.seed);
+    McdProcessor proc(cfg, *source);
+    SimResult r = proc.run(opts.instructions);
+    r.controller = "sync-baseline";
+    return r;
+}
+
+SimResult
+runMcdBaseline(const std::string &benchmark, const RunOptions &opts)
+{
+    SimConfig cfg = opts.config;
+    cfg.controller = ControllerKind::Fixed;
+    cfg.mcdEnabled = true;
+    cfg.seed = opts.seed;
+    cfg.recordTraces = opts.recordTraces;
+
+    auto source = makeBenchmark(benchmark, opts.instructions, opts.seed);
+    McdProcessor proc(cfg, *source);
+    SimResult r = proc.run(opts.instructions);
+    r.controller = "mcd-baseline";
+    return r;
+}
+
+std::vector<ComparisonRow>
+runComparison(const std::vector<std::string> &names,
+              const std::vector<ControllerKind> &kinds,
+              const RunOptions &opts)
+{
+    std::vector<ComparisonRow> rows;
+    for (const auto &name : names) {
+        const SimResult base = runMcdBaseline(name, opts);
+        for (ControllerKind kind : kinds) {
+            ComparisonRow row;
+            row.benchmark = name;
+            row.scheme = controllerKindName(kind);
+            row.result = runBenchmark(name, kind, opts);
+            row.vsBaseline = compare(row.result, base);
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+} // namespace mcd

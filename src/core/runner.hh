@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Experiment orchestration: build a processor for (benchmark,
+ * controller) pairs, run it, and assemble the paper's comparison
+ * tables.
+ */
+
+#ifndef MCDSIM_CORE_RUNNER_HH
+#define MCDSIM_CORE_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "core/sim_config.hh"
+
+namespace mcd
+{
+
+/** Options shared by a batch of runs. */
+struct RunOptions
+{
+    /** Instructions per benchmark run. */
+    std::uint64_t instructions = 2'000'000;
+
+    /** Base seed for the workload generators. */
+    std::uint64_t seed = 1;
+
+    /** Record frequency/queue traces. */
+    bool recordTraces = false;
+
+    /** Start from this config (controller field is overridden). */
+    SimConfig config{};
+};
+
+/** Result of one benchmark under one scheme, with baseline deltas. */
+struct ComparisonRow
+{
+    std::string benchmark;
+    std::string scheme;
+    SimResult result;
+    Comparison vsBaseline;
+};
+
+/**
+ * Run @p benchmark under @p kind.
+ * The synchronous full-speed baseline is ControllerKind::Fixed with
+ * mcdEnabled = false.
+ */
+SimResult runBenchmark(const std::string &benchmark, ControllerKind kind,
+                       const RunOptions &opts);
+
+/** Baseline = conventional synchronous processor at f_max. */
+SimResult runSynchronousBaseline(const std::string &benchmark,
+                                 const RunOptions &opts);
+
+/**
+ * Baseline = the MCD processor at full speed with DVFS disabled.
+ * This is the reference every DVFS scheme is normalized against (as
+ * in the paper's evaluation); the synchronous baseline additionally
+ * quantifies the one-time MCD synchronization overhead.
+ */
+SimResult runMcdBaseline(const std::string &benchmark,
+                         const RunOptions &opts);
+
+/**
+ * Run every scheme in @p kinds on every benchmark in @p names,
+ * normalizing against the synchronous baseline.
+ */
+std::vector<ComparisonRow>
+runComparison(const std::vector<std::string> &names,
+              const std::vector<ControllerKind> &kinds,
+              const RunOptions &opts);
+
+} // namespace mcd
+
+#endif // MCDSIM_CORE_RUNNER_HH

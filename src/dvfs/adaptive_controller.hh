@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The paper's contribution: an online DVFS controller whose reaction
+ * time adapts to workload changes (Section 3).
+ *
+ * Two SignalFsm instances monitor, at every sampling period,
+ *  - the level signal  q_i - q_ref   (DW = +-1, basic delay T_m0=50),
+ *  - the delta signal  q_i - q_{i-1} (DW = 0,   basic delay T_l0=8),
+ * and a small scheduler reconciles their triggers:
+ *  - one trigger          -> one +-step action;
+ *  - two same-direction   -> combined double-step action (or two
+ *                            sequential steps, configurable);
+ *  - two opposite         -> both cancelled, both FSMs reset.
+ *
+ * A triggered action is applied by the DVFS driver after the physical
+ * switching time T_s; while the ramp is in progress the FSMs hold
+ * (the regulator is busy), matching the Start -> Act timing of
+ * Figure 4.
+ *
+ * Defaults follow Section 5.1 prose: T_l0 = 8, T_m0 = 50 (Table 1
+ * prints T_l0 = 0, an evident typo), q_ref = 6 (INT) / 4 (FP, LS),
+ * DW = +-1 for the level signal and 0 for the delta signal.
+ */
+
+#ifndef MCDSIM_DVFS_ADAPTIVE_CONTROLLER_HH
+#define MCDSIM_DVFS_ADAPTIVE_CONTROLLER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dvfs/controller.hh"
+#include "dvfs/signal_fsm.hh"
+#include "dvfs/vf_curve.hh"
+
+namespace mcd
+{
+
+/** Adaptive-reaction-time DVFS controller (the paper's design). */
+class AdaptiveController : public DvfsController
+{
+  public:
+    struct Config
+    {
+        /** Reference (target) queue occupancy q_ref. */
+        double qref = 6.0;
+
+        /** Level-signal deviation window (Table 1: +-1). */
+        double levelDeviationWindow = 1.0;
+
+        /** Delta-signal deviation window (Table 1: 0). */
+        double deltaDeviationWindow = 0.0;
+
+        /** Level-signal basic delay T_m0, sampling periods. */
+        double levelDelay = 50.0;
+
+        /** Delta-signal basic delay T_l0, sampling periods. */
+        double deltaDelay = 8.0;
+
+        /** Signal-to-increment scale for the level FSM (m). */
+        double levelSignalScale = 1.0;
+
+        /** Signal-to-increment scale for the delta FSM (l). */
+        double deltaSignalScale = 1.0;
+
+        /** Frequency steps per single action (1 = fine-grained). */
+        std::uint32_t stepsPerAction = 1;
+
+        /**
+         * When both FSMs trigger the same direction on the same
+         * sample, combine into one double-step action (true) or
+         * perform two sequential single steps (false). Section 3
+         * allows either.
+         */
+        bool combineSimultaneousActions = true;
+
+        /** Scale down-count delay by (f/f_max)^2 (Section 5.1). */
+        bool scaleDownDelayByFrequency = true;
+
+        /**
+         * Hold FSM counting while a transition ramps (regulator
+         * busy). Disabled only by the scheduler ablation study.
+         */
+        bool freezeWhileSwitching = true;
+    };
+
+    AdaptiveController(const VfCurve &curve, const Config &config);
+
+    DvfsDecision sample(double queue_occupancy, Hertz current_hz,
+                        bool in_transition) override;
+    void reset() override;
+    std::string name() const override { return "adaptive"; }
+
+    const Config &config() const { return cfg; }
+    const SignalFsm &levelFsm() const { return level; }
+    const SignalFsm &deltaFsm() const { return delta; }
+
+    /** Pending sequential second step (non-combined double action). */
+    bool hasPendingStep() const { return pendingSteps != 0; }
+
+  private:
+    DvfsDecision makeDecision(int direction, std::uint32_t steps,
+                              Hertz current_hz);
+
+    const VfCurve &vf;
+    Config cfg;
+    SignalFsm level;
+    SignalFsm delta;
+    double prevQueue = 0.0;
+    bool havePrevQueue = false;
+    int pendingSteps = 0; ///< signed leftover steps for sequential mode
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_DVFS_ADAPTIVE_CONTROLLER_HH

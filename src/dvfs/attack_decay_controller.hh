@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Attack/decay DVFS controller, reimplementing the online scheme of
+ * Semeraro et al., "Dynamic Frequency and Voltage Control for a
+ * Multiple Clock Domain Microarchitecture" (reference [9] of the
+ * paper).
+ *
+ * The original algorithm observes per-interval issue-queue
+ * utilization. When utilization changes significantly between
+ * consecutive intervals the controller *attacks*: it moves frequency
+ * sharply in the direction of the change. When utilization is steady
+ * it *decays*: frequency drifts down slowly to harvest energy, on the
+ * theory that steady state tolerates slow slowdown until the queue
+ * pushes back. An emergency clause raises frequency when the queue
+ * approaches full (performance protection).
+ *
+ * Constants follow the published description (attack step a few
+ * percent of the range, decay a small fraction of a percent per
+ * interval); exact values are configurable since the original tuned
+ * per-hardware.
+ */
+
+#ifndef MCDSIM_DVFS_ATTACK_DECAY_CONTROLLER_HH
+#define MCDSIM_DVFS_ATTACK_DECAY_CONTROLLER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dvfs/controller.hh"
+#include "dvfs/vf_curve.hh"
+
+namespace mcd
+{
+
+/** Fixed-interval attack/decay controller (baseline [9]). */
+class AttackDecayController : public DvfsController
+{
+  public:
+    struct Config
+    {
+        /** Control interval, in sampling periods (2500 = 10 us). */
+        std::uint32_t intervalSamples = 2500;
+
+        /** Utilization change (entries) that triggers an attack. */
+        double attackThreshold = 1.0;
+
+        /** Attack step as a fraction of the frequency range. */
+        double attackFraction = 0.06;
+
+        /** Decay per interval as a fraction of the frequency range. */
+        double decayFraction = 0.002;
+
+        /** Queue fraction above which an emergency speed-up fires. */
+        double emergencyFraction = 0.8;
+
+        /** Queue capacity used for the emergency test. */
+        double queueCapacity = 20.0;
+    };
+
+    AttackDecayController(const VfCurve &curve, const Config &config);
+
+    DvfsDecision sample(double queue_occupancy, Hertz current_hz,
+                        bool in_transition) override;
+    void reset() override;
+    std::string name() const override { return "attack-decay"; }
+
+    const Config &config() const { return cfg; }
+
+    std::uint64_t attackCount() const { return attacks; }
+    std::uint64_t decayCount() const { return decays; }
+
+  private:
+    const VfCurve &vf;
+    Config cfg;
+    double accum = 0.0;
+    std::uint32_t inInterval = 0;
+    double prevAvg = 0.0;
+    bool havePrev = false;
+    std::uint64_t attacks = 0;
+    std::uint64_t decays = 0;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_DVFS_ATTACK_DECAY_CONTROLLER_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Abstract interface shared by all online DVFS controllers.
+ *
+ * A controller is a pure decision process: the DVFS driver feeds it
+ * one queue-occupancy sample per sampling period (250 MHz in Table 1)
+ * together with the domain's current frequency and whether a
+ * transition is still ramping, and the controller optionally requests
+ * a new target frequency. The driver owns the physical transition
+ * (ramp rate, stall, voltage tracking); controllers own only the
+ * decision logic, which is the part the paper compares across
+ * schemes.
+ */
+
+#ifndef MCDSIM_DVFS_CONTROLLER_HH
+#define MCDSIM_DVFS_CONTROLLER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mcd
+{
+
+/** One controller decision. */
+struct DvfsDecision
+{
+    /** True when the controller requests a frequency change. */
+    bool change = false;
+
+    /** Requested target frequency (valid when change is true). */
+    Hertz targetHz = 0.0;
+};
+
+/** Counters every controller maintains for the evaluation tables. */
+struct ControllerStats
+{
+    /** Frequency-increase actions issued. */
+    std::uint64_t actionsUp = 0;
+
+    /** Frequency-decrease actions issued. */
+    std::uint64_t actionsDown = 0;
+
+    /** Simultaneous opposite triggers cancelled (adaptive scheme). */
+    std::uint64_t cancellations = 0;
+
+    /** Samples observed. */
+    std::uint64_t samples = 0;
+
+    std::uint64_t
+    totalActions() const
+    {
+        return actionsUp + actionsDown;
+    }
+};
+
+/** Base class for online DVFS decision logic. */
+class DvfsController
+{
+  public:
+    virtual ~DvfsController() = default;
+
+    /**
+     * Observe one queue sample and decide.
+     *
+     * @param queue_occupancy  Instantaneous occupancy of the domain's
+     *                         input interface queue.
+     * @param current_hz       Domain frequency right now (mid-ramp
+     *                         values included).
+     * @param in_transition    True while a previously requested
+     *                         transition is still ramping.
+     */
+    virtual DvfsDecision sample(double queue_occupancy, Hertz current_hz,
+                                bool in_transition) = 0;
+
+    /** Restore power-on state (keeps configuration, clears stats). */
+    virtual void reset() = 0;
+
+    /** Scheme name used in reports. */
+    virtual std::string name() const = 0;
+
+    const ControllerStats &stats() const { return _stats; }
+
+  protected:
+    ControllerStats _stats;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_DVFS_CONTROLLER_HH

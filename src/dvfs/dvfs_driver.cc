@@ -1,0 +1,66 @@
+#include "dvfs/dvfs_driver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+DvfsDriver::DvfsDriver(const VfCurve &curve, const DvfsModel &model,
+                       DvfsController &controller,
+                       FrequencyActuator &actuator, Hertz initial_hz,
+                       Tick sampling_period)
+    : vf(curve), mdl(model), ctrl(controller), act(actuator),
+      samplingPeriod(sampling_period),
+      current(curve.clampFrequency(initial_hz)),
+      target(current)
+{
+    if (samplingPeriod == 0)
+        fatal("DvfsDriver: sampling period must be nonzero");
+    act.applyOperatingPoint(current, vf.voltageAt(current));
+}
+
+void
+DvfsDriver::sampleTick(Tick now, double queue_occupancy)
+{
+    // 1. Advance the ramp by one sampling period at the slew rate.
+    if (current != target) {
+        const double max_move =
+            mdl.slewHzPerTick() * static_cast<double>(samplingPeriod);
+        const double gap = target - current;
+        if (std::abs(gap) <= max_move) {
+            current = target;
+        } else {
+            current += gap > 0 ? max_move : -max_move;
+        }
+        rampTicks += samplingPeriod;
+        act.applyOperatingPoint(current, vf.voltageAt(current));
+    }
+
+    // 2. Let the controller observe and decide. While a Transmeta-
+    // style relock stall is active the regulator is busy: it reports
+    // "in transition" to the controller and refuses new targets
+    // (otherwise every mid-stall request would extend the stall and
+    // the domain would never run again).
+    const bool busy = inTransition() || stalled(now);
+    const DvfsDecision d = ctrl.sample(queue_occupancy, current, busy);
+    if (!d.change || stalled(now))
+        return;
+
+    const Hertz new_target = vf.clampFrequency(d.targetHz);
+    if (new_target == target)
+        return;
+
+    target = new_target;
+    if (target != current) {
+        ++transitions;
+        if (mdl.stallTime > 0) {
+            // Transmeta-style: the domain idles while the PLL relocks.
+            stallUntilTick = std::max(stallUntilTick, now + mdl.stallTime);
+        }
+    }
+}
+
+} // namespace mcd

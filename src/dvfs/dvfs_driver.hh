@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The DVFS driver: the piece of "existing MCD hardware" (voltage
+ * regulator + clock generator) that physically performs transitions
+ * requested by a decision controller.
+ *
+ * The driver is sampled at the DVFS sampling rate (250 MHz). Each
+ * sample it (1) advances any in-progress frequency ramp at the
+ * model's slew rate (73.3 ns/MHz for XScale-style), pushing the new
+ * frequency and tracking voltage into the actuator (the clock
+ * domain), and (2) feeds the queue sample to the controller and
+ * latches any newly requested target. Under a Transmeta-style model
+ * each transition additionally stalls the domain for the model's
+ * stall time.
+ */
+
+#ifndef MCDSIM_DVFS_DVFS_DRIVER_HH
+#define MCDSIM_DVFS_DVFS_DRIVER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dvfs/controller.hh"
+#include "dvfs/dvfs_model.hh"
+#include "dvfs/vf_curve.hh"
+
+namespace mcd
+{
+
+/** Sink for frequency/voltage changes (implemented by ClockDomain). */
+class FrequencyActuator
+{
+  public:
+    virtual ~FrequencyActuator() = default;
+
+    /** Apply a new operating point effective immediately. */
+    virtual void applyOperatingPoint(Hertz f, Volt v) = 0;
+};
+
+/** Per-domain DVFS transition engine. */
+class DvfsDriver
+{
+  public:
+    DvfsDriver(const VfCurve &curve, const DvfsModel &model,
+               DvfsController &controller, FrequencyActuator &actuator,
+               Hertz initial_hz, Tick sampling_period);
+
+    /**
+     * One sampling period: advance the ramp, then let the controller
+     * observe @p queue_occupancy and possibly set a new target.
+     */
+    void sampleTick(Tick now, double queue_occupancy);
+
+    Hertz currentHz() const { return current; }
+    Hertz targetHz() const { return target; }
+    bool inTransition() const { return current != target; }
+
+    /** True while a Transmeta-style stall window is active. */
+    bool stalled(Tick now) const { return now < stallUntilTick; }
+
+    /** Number of distinct transitions initiated. */
+    std::uint64_t transitionCount() const { return transitions; }
+
+    /** Total time spent ramping, in ticks. */
+    Tick totalTransitionTime() const { return rampTicks; }
+
+    DvfsController &controller() { return ctrl; }
+    const DvfsController &controller() const { return ctrl; }
+
+  private:
+    const VfCurve &vf;
+    DvfsModel mdl;
+    DvfsController &ctrl;
+    FrequencyActuator &act;
+    Tick samplingPeriod;
+
+    Hertz current;
+    Hertz target;
+    Tick stallUntilTick = 0;
+    std::uint64_t transitions = 0;
+    Tick rampTicks = 0;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_DVFS_DVFS_DRIVER_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * DVFS switching-cost models (paper Sections 2-3).
+ *
+ * XScale-style: the domain keeps executing during the transition, the
+ * frequency/voltage ramp at 73.3 ns/MHz (Table 1), and there is no
+ * PLL-relock idle time. Transmeta-style: a slower ramp plus a stall
+ * window during which the domain cannot execute; the paper discusses
+ * this variant qualitatively (coarser steps, higher trigger
+ * thresholds) and we expose it for the switching-cost ablation.
+ */
+
+#ifndef MCDSIM_DVFS_DVFS_MODEL_HH
+#define MCDSIM_DVFS_DVFS_MODEL_HH
+
+#include <cmath>
+
+#include "common/types.hh"
+
+namespace mcd
+{
+
+/** Timing model for one frequency/voltage transition. */
+struct DvfsModel
+{
+    /** Ramp cost in nanoseconds per MHz of frequency change. */
+    double nsPerMhz = 73.3;
+
+    /** Idle (stalled) time per transition; zero for XScale-style. */
+    Tick stallTime = 0;
+
+    /** True when the domain keeps executing through the transition. */
+    bool
+    executeThroughTransition() const
+    {
+        return stallTime == 0;
+    }
+
+    /** Ramp duration for a frequency change of @p delta_hz. */
+    Tick
+    transitionTime(Hertz delta_hz) const
+    {
+        const double mhz = std::abs(delta_hz) / 1e6;
+        return ticksFromNs(static_cast<std::uint64_t>(mhz * nsPerMhz + 0.5));
+    }
+
+    /** Ramp slew rate in Hz per tick. */
+    double
+    slewHzPerTick() const
+    {
+        // nsPerMhz ns per MHz -> (1e6 Hz) per (nsPerMhz * 1e6 fs).
+        return 1.0 / nsPerMhz;
+    }
+
+    /** Canonical XScale-style model (Table 1). */
+    static DvfsModel
+    xscale()
+    {
+        return DvfsModel{73.3, 0};
+    }
+
+    /**
+     * Transmeta-style model: ~20x slower ramp and a 20 us stall per
+     * transition, representative of the slow-relock regime the paper
+     * contrasts against.
+     */
+    static DvfsModel
+    transmeta()
+    {
+        return DvfsModel{1466.0, ticksFromUs(20)};
+    }
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_DVFS_DVFS_MODEL_HH

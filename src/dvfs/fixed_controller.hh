@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Null DVFS controller: the domain runs at a fixed frequency forever.
+ * Used for the synchronous full-speed baseline every evaluation
+ * normalizes against, and for no-DVFS MCD measurements.
+ */
+
+#ifndef MCDSIM_DVFS_FIXED_CONTROLLER_HH
+#define MCDSIM_DVFS_FIXED_CONTROLLER_HH
+
+#include <string>
+
+#include "dvfs/controller.hh"
+
+namespace mcd
+{
+
+/** Controller that never requests a change. */
+class FixedController : public DvfsController
+{
+  public:
+    FixedController() = default;
+
+    DvfsDecision
+    sample(double queue_occupancy, Hertz current_hz,
+           bool in_transition) override
+    {
+        (void)queue_occupancy;
+        (void)current_hz;
+        (void)in_transition;
+        ++_stats.samples;
+        return DvfsDecision{};
+    }
+
+    void reset() override { _stats = ControllerStats{}; }
+
+    std::string name() const override { return "fixed"; }
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_DVFS_FIXED_CONTROLLER_HH

@@ -1,0 +1,134 @@
+#include "dvfs/hardware_cost.hh"
+
+#include <cmath>
+
+namespace mcd
+{
+
+std::uint32_t
+HardwareCost::totalStateBits() const
+{
+    std::uint32_t sum = 0;
+    for (const auto &b : blocks)
+        sum += b.count * b.stateBits;
+    return sum;
+}
+
+std::uint32_t
+HardwareCost::totalGateEquivalents() const
+{
+    std::uint32_t sum = 0;
+    for (const auto &b : blocks)
+        sum += b.count * b.gateEquivalents;
+    return sum;
+}
+
+std::uint32_t
+adderGates(std::uint32_t bits)
+{
+    return 5 * bits; // ripple full adder ~ 5 GE per bit
+}
+
+std::uint32_t
+comparatorGates(std::uint32_t bits)
+{
+    return 3 * bits; // magnitude comparator ~ 3 GE per bit
+}
+
+std::uint32_t
+registerGates(std::uint32_t bits)
+{
+    return 4 * bits; // DFF ~ 4 GE per bit
+}
+
+std::uint32_t
+counterGates(std::uint32_t bits)
+{
+    // Register bits plus the increment half-adder chain and reset.
+    return registerGates(bits) + 3 * bits;
+}
+
+std::uint32_t
+multiplierGates(std::uint32_t bits_a, std::uint32_t bits_b)
+{
+    // Array multiplier: one AND + most of a full adder per
+    // partial-product bit.
+    return 5 * bits_a * bits_b;
+}
+
+std::uint32_t
+fsmGates(std::uint32_t states, std::uint32_t inputs)
+{
+    // State register plus two-level next-state/output logic sized by
+    // a standard heuristic.
+    const auto state_bits = static_cast<std::uint32_t>(
+        std::ceil(std::log2(static_cast<double>(states))));
+    return registerGates(state_bits) +
+           4 * state_bits * (state_bits + inputs);
+}
+
+HardwareCost
+adaptiveHardware()
+{
+    HardwareCost hw;
+    hw.scheme = "adaptive";
+    // Two signal paths: (q - qref) and (q - q_prev). Figure 5.
+    hw.blocks.push_back(
+        {"6-bit signal adder", 2, 0, adderGates(6)});
+    hw.blocks.push_back(
+        {"7-bit window comparator", 2, 0, comparatorGates(7)});
+    hw.blocks.push_back(
+        {"5-state trigger FSM", 2, 3, fsmGates(5, 2)});
+    hw.blocks.push_back(
+        {"8-bit delay counter", 2, 8, counterGates(8)});
+    hw.blocks.push_back({"prev-queue register", 1, 6, registerGates(6)});
+    hw.blocks.push_back({"qref register", 1, 6, registerGates(6)});
+    // Scheduler: reconcile two trigger pairs (combine / cancel).
+    hw.blocks.push_back({"action scheduler", 1, 2, 24});
+    return hw;
+}
+
+HardwareCost
+pidHardware()
+{
+    HardwareCost hw;
+    hw.scheme = "pid-fixed-interval";
+    // Interval machinery.
+    hw.blocks.push_back(
+        {"12-bit interval counter", 1, 12, counterGates(12)});
+    hw.blocks.push_back(
+        {"18-bit occupancy accumulator", 1, 18, counterGates(18)});
+    hw.blocks.push_back(
+        {"average shifter/adder", 1, 0, adderGates(12)});
+    // Error pipeline: e, e-1, e-2 plus differencing adders.
+    hw.blocks.push_back({"error register", 3, 8, registerGates(8)});
+    hw.blocks.push_back({"error adder", 2, 0, adderGates(8)});
+    // The gain arithmetic that the paper calls out as the expensive
+    // part: Kp/Ki/Kd multiplications (8x8 each).
+    hw.blocks.push_back(
+        {"8x8 gain multiplier", 3, 0, multiplierGates(8, 8)});
+    hw.blocks.push_back({"output accumulator", 1, 12, counterGates(12)});
+    return hw;
+}
+
+HardwareCost
+attackDecayHardware()
+{
+    HardwareCost hw;
+    hw.scheme = "attack-decay";
+    hw.blocks.push_back(
+        {"12-bit interval counter", 1, 12, counterGates(12)});
+    hw.blocks.push_back(
+        {"18-bit occupancy accumulator", 1, 18, counterGates(18)});
+    hw.blocks.push_back(
+        {"average shifter/adder", 1, 0, adderGates(12)});
+    hw.blocks.push_back({"prev-average register", 1, 8,
+                         registerGates(8)});
+    hw.blocks.push_back(
+        {"threshold comparator", 1, 0, comparatorGates(8)});
+    hw.blocks.push_back({"attack/decay adder", 2, 0, adderGates(10)});
+    hw.blocks.push_back({"decision FSM", 1, 2, fsmGates(3, 3)});
+    return hw;
+}
+
+} // namespace mcd

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Decision-logic hardware cost model (paper Section 3, Figure 5).
+ *
+ * One of the paper's three contributions is that the adaptive decision
+ * process is *simple*: per monitored signal it needs only a 6-bit
+ * adder (queue minus reference / previous), a 7-bit comparator against
+ * the deviation window, a 5-state FSM, and an 8-bit resettable
+ * time-delay counter. The fixed-interval schemes need the same
+ * book-keeping plus per-interval arithmetic to compute the next
+ * setting — in the PID case multipliers (or lookup tables), which
+ * dominate everything else.
+ *
+ * This module counts the storage bits and gate-equivalents of each
+ * scheme's per-domain decision logic using standard static-CMOS
+ * gate-equivalent figures (full adder ~ 5 GE/bit, register bit ~ 4 GE,
+ * comparator ~ 3 GE/bit, array multiplier ~ 5 GE per partial-product
+ * bit pair). Absolute numbers are indicative; the *ratios* reproduce
+ * the paper's "much smaller and cheaper" claim.
+ */
+
+#ifndef MCDSIM_DVFS_HARDWARE_COST_HH
+#define MCDSIM_DVFS_HARDWARE_COST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcd
+{
+
+/** Cost of one hardware block. */
+struct HardwareBlock
+{
+    std::string name;
+    std::uint32_t count = 1;
+
+    /** Storage bits (flip-flops). */
+    std::uint32_t stateBits = 0;
+
+    /** Combinational gate equivalents. */
+    std::uint32_t gateEquivalents = 0;
+};
+
+/** Aggregated decision-logic cost for one scheme. */
+struct HardwareCost
+{
+    std::string scheme;
+    std::vector<HardwareBlock> blocks;
+
+    std::uint32_t totalStateBits() const;
+    std::uint32_t totalGateEquivalents() const;
+};
+
+/** @{ Gate-equivalent estimators for the primitive blocks. */
+std::uint32_t adderGates(std::uint32_t bits);
+std::uint32_t comparatorGates(std::uint32_t bits);
+std::uint32_t registerGates(std::uint32_t bits);
+std::uint32_t counterGates(std::uint32_t bits);
+std::uint32_t multiplierGates(std::uint32_t bits_a, std::uint32_t bits_b);
+std::uint32_t fsmGates(std::uint32_t states, std::uint32_t inputs);
+/** @} */
+
+/**
+ * Per-domain decision logic of the adaptive scheme (Figure 5):
+ * two signal paths (level and delta), each a 6-bit adder + 7-bit
+ * window comparator + 5-state FSM + 8-bit delay counter, plus the
+ * previous-queue register and the 2-entry action scheduler.
+ */
+HardwareCost adaptiveHardware();
+
+/**
+ * Per-domain decision logic of the fixed-interval PID scheme [23]:
+ * interval accumulator and averaging shift, error registers, and the
+ * three gain multiplications (implemented as 8x8 multipliers), plus
+ * the interval counter.
+ */
+HardwareCost pidHardware();
+
+/**
+ * Per-domain decision logic of the attack/decay scheme [9]: interval
+ * accumulator/average, previous-average register, threshold
+ * comparator, and the attack/decay adders.
+ */
+HardwareCost attackDecayHardware();
+
+} // namespace mcd
+
+#endif // MCDSIM_DVFS_HARDWARE_COST_HH

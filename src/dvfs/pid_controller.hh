@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fixed-interval PID DVFS controller, reimplementing the scheme of
+ * Wu et al., "Formal Online Methods for Voltage/Frequency Control in
+ * Multiple Clock Domain Microprocessors" (reference [23] of the
+ * paper).
+ *
+ * Every control interval the controller averages the queue occupancy,
+ * forms the error e = q_avg - q_ref, and applies a velocity-form PID
+ * update to the domain frequency:
+ *
+ *   delta_f = Kp (e_k - e_{k-1}) + Ki e_k + Kd (e_k - 2 e_{k-1} + e_{k-2})
+ *
+ * scaled by the frequency range, with an error deadzone to suppress
+ * chatter. Because decisions happen only at interval boundaries, the
+ * scheme cannot react to swings inside an interval — exactly the
+ * limitation the adaptive controller removes. The interval length is
+ * configurable so the paper's closing shorter-interval comparison can
+ * sweep it.
+ */
+
+#ifndef MCDSIM_DVFS_PID_CONTROLLER_HH
+#define MCDSIM_DVFS_PID_CONTROLLER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dvfs/controller.hh"
+#include "dvfs/vf_curve.hh"
+
+namespace mcd
+{
+
+/** Fixed-interval PID controller (baseline [23]). */
+class PidController : public DvfsController
+{
+  public:
+    struct Config
+    {
+        /** Target queue occupancy. */
+        double qref = 6.0;
+
+        /** Control interval, in sampling periods (2500 = 10 us). */
+        std::uint32_t intervalSamples = 2500;
+
+        /** Proportional gain (on the error difference). */
+        double kp = 0.03;
+
+        /** Integral gain (on the error itself). */
+        double ki = 0.005;
+
+        /** Derivative gain. */
+        double kd = 0.0;
+
+        /** No action when |e| is below this many queue entries. */
+        double deadzone = 0.25;
+    };
+
+    PidController(const VfCurve &curve, const Config &config);
+
+    DvfsDecision sample(double queue_occupancy, Hertz current_hz,
+                        bool in_transition) override;
+    void reset() override;
+    std::string name() const override { return "pid-fixed-interval"; }
+
+    const Config &config() const { return cfg; }
+
+  private:
+    const VfCurve &vf;
+    Config cfg;
+    double accum = 0.0;
+    std::uint32_t inInterval = 0;
+    double e1 = 0.0; ///< previous interval error
+    double e2 = 0.0; ///< error two intervals back
+    bool haveHistory = false;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_DVFS_PID_CONTROLLER_HH

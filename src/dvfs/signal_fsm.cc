@@ -1,0 +1,95 @@
+#include "dvfs/signal_fsm.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+double
+SignalFsm::incrementFor(double signal, double f_norm, bool down) const
+{
+    // Signal-scaled delay: effective delay T_0 / (scale * |signal|) is
+    // emulated by counting |signal| * scale per sample.
+    double inc = cfg.signalScale * std::abs(signal);
+    if (inc < 1e-9) {
+        // Delta signal with DW = 0 can sit exactly on the window edge;
+        // treat the minimum out-of-window excursion as one unit.
+        inc = cfg.signalScale;
+    }
+    if (down && cfg.scaleDownCountByFrequency) {
+        // Effective down delay T_0 / fhat^2: larger at low frequency.
+        inc *= f_norm * f_norm;
+    }
+    return inc;
+}
+
+FsmTrigger
+SignalFsm::sample(double signal, double f_norm)
+{
+    mcd_assert(f_norm > 0.0 && f_norm <= 1.0 + 1e-9,
+               "normalized frequency %g out of range", f_norm);
+
+    const bool above = signal > cfg.deviationWindow;
+    const bool below = signal < -cfg.deviationWindow;
+
+    switch (st) {
+      case State::Wait:
+        if (above) {
+            st = State::CountUp;
+            count = incrementFor(signal, f_norm, false);
+        } else if (below) {
+            st = State::CountDown;
+            count = incrementFor(signal, f_norm, true);
+        }
+        break;
+
+      case State::CountUp:
+        if (above) {
+            count += incrementFor(signal, f_norm, false);
+        } else if (below) {
+            // Opposite excursion: restart the count downward.
+            st = State::CountDown;
+            count = incrementFor(signal, f_norm, true);
+        } else {
+            // Back inside the window before the delay elapsed: noise.
+            ++noiseResets;
+            resetToWait();
+        }
+        break;
+
+      case State::CountDown:
+        if (below) {
+            count += incrementFor(signal, f_norm, true);
+        } else if (above) {
+            st = State::CountUp;
+            count = incrementFor(signal, f_norm, false);
+        } else {
+            ++noiseResets;
+            resetToWait();
+        }
+        break;
+    }
+
+    if (st == State::CountUp && count >= cfg.baseDelay) {
+        ++upTriggers;
+        resetToWait();
+        return FsmTrigger::Up;
+    }
+    if (st == State::CountDown && count >= cfg.baseDelay) {
+        ++downTriggers;
+        resetToWait();
+        return FsmTrigger::Down;
+    }
+    return FsmTrigger::None;
+}
+
+void
+SignalFsm::resetToWait()
+{
+    st = State::Wait;
+    count = 0.0;
+}
+
+} // namespace mcd

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The per-signal finite state machine of the adaptive DVFS controller
+ * (paper Figures 3 and 4).
+ *
+ * Each monitored queue signal — the level signal (q_i - q_ref) and
+ * the delta signal (q_i - q_{i-1}) — runs one instance. The FSM sits
+ * in Wait until the signal leaves the deviation window, then counts a
+ * resettable time delay while the signal stays outside the window on
+ * the same side; if the signal re-enters the window the counter
+ * resets (noise rejection), and if it crosses to the opposite side
+ * the count restarts in the other direction. When the accumulated
+ * count passes the basic delay the FSM raises a trigger (the paper's
+ * Start state); the enclosing controller's scheduler decides whether
+ * the triggered action is performed, combined, or cancelled.
+ *
+ * Two refinements from Section 3/5.1 are modeled exactly:
+ *  - signal-scaled delay: the counter increments by |signal| * scale
+ *    per sample instead of 1, so the effective delay is
+ *    T_0 / (scale * |signal|) — larger excursions trigger sooner;
+ *  - frequency-scaled down delay: while counting *down*, increments
+ *    are multiplied by (f/f_max)^2, so at low frequency the controller
+ *    is more cautious about scaling down further.
+ */
+
+#ifndef MCDSIM_DVFS_SIGNAL_FSM_HH
+#define MCDSIM_DVFS_SIGNAL_FSM_HH
+
+#include <cstdint>
+
+namespace mcd
+{
+
+/** Trigger emitted by one FSM on one sample. */
+enum class FsmTrigger
+{
+    None,
+    Up,   ///< request one frequency/voltage increment
+    Down, ///< request one frequency/voltage decrement
+};
+
+/** Resettable-delay trigger FSM for one queue signal. */
+class SignalFsm
+{
+  public:
+    enum class State
+    {
+        Wait,
+        CountUp,
+        CountDown,
+    };
+
+    struct Config
+    {
+        /** Half-width of the deviation window [-DW, +DW]. */
+        double deviationWindow = 1.0;
+
+        /** Basic time delay T_0, in sampling periods. */
+        double baseDelay = 50.0;
+
+        /**
+         * Signal-to-increment conversion (the paper's m or l): the
+         * counter advances by signalScale * |signal| per sample.
+         */
+        double signalScale = 1.0;
+
+        /**
+         * When true, down-count increments scale by (f/f_max)^2,
+         * slowing down-scaling at low frequency (Section 5.1).
+         */
+        bool scaleDownCountByFrequency = true;
+    };
+
+    SignalFsm() : SignalFsm(Config{}) {}
+    explicit SignalFsm(const Config &config) : cfg(config) {}
+
+    /**
+     * Advance one sampling period.
+     *
+     * @param signal  Current signal value (level or delta).
+     * @param f_norm  Normalized domain frequency f/f_max in (0, 1].
+     * @return the trigger raised this sample, if any. A raised
+     *         trigger leaves the FSM in Wait (the controller handles
+     *         Start/Act timing and any cancellation).
+     */
+    FsmTrigger sample(double signal, double f_norm);
+
+    /** Abort any in-progress count and return to Wait. */
+    void resetToWait();
+
+    State state() const { return st; }
+    double counter() const { return count; }
+    const Config &config() const { return cfg; }
+
+    /** Counts of raised triggers, for tests and hardware-cost study. */
+    std::uint64_t upTriggerCount() const { return upTriggers; }
+    std::uint64_t downTriggerCount() const { return downTriggers; }
+
+    /** Counter resets caused by the signal re-entering the window. */
+    std::uint64_t noiseResetCount() const { return noiseResets; }
+
+  private:
+    double incrementFor(double signal, double f_norm, bool down) const;
+
+    Config cfg;
+    State st = State::Wait;
+    double count = 0.0;
+    std::uint64_t upTriggers = 0;
+    std::uint64_t downTriggers = 0;
+    std::uint64_t noiseResets = 0;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_DVFS_SIGNAL_FSM_HH

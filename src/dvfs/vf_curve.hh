@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The voltage/frequency operating range of one clock domain.
+ *
+ * Table 1 of the paper: frequency 250 MHz - 1.0 GHz, voltage 0.65 V -
+ * 1.20 V, adjusted in 320 fine-grained steps (2.34 MHz / 1.72 mV per
+ * step) under the XScale-style DVFS model. Voltage is an affine
+ * function of frequency across the range, which matches the paper's
+ * "voltage scaled accordingly" treatment.
+ */
+
+#ifndef MCDSIM_DVFS_VF_CURVE_HH
+#define MCDSIM_DVFS_VF_CURVE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mcd
+{
+
+/** Immutable description of a domain's DVFS operating range. */
+class VfCurve
+{
+  public:
+    struct Config
+    {
+        Hertz fMin = megaHertz(250);
+        Hertz fMax = gigaHertz(1.0);
+        Volt vMin = 0.65;
+        Volt vMax = 1.20;
+
+        /** Number of frequency steps across the range (Table 1: 320). */
+        std::uint32_t steps = 320;
+    };
+
+    VfCurve() : VfCurve(Config{}) {}
+    explicit VfCurve(const Config &config);
+
+    Hertz fMin() const { return cfg.fMin; }
+    Hertz fMax() const { return cfg.fMax; }
+    Volt vMin() const { return cfg.vMin; }
+    Volt vMax() const { return cfg.vMax; }
+    std::uint32_t stepCount() const { return cfg.steps; }
+
+    /** Frequency increment of one DVFS step. */
+    Hertz stepSize() const { return stepHz; }
+
+    /** Clamp @p f to the legal range. */
+    Hertz clampFrequency(Hertz f) const;
+
+    /** Supply voltage required at frequency @p f (affine in f). */
+    Volt voltageAt(Hertz f) const;
+
+    /** Nearest step index for frequency @p f (0 = fMin). */
+    std::uint32_t indexOf(Hertz f) const;
+
+    /** Frequency of step @p index (clamped to the top step). */
+    Hertz frequencyAt(std::uint32_t index) const;
+
+    /** Normalized frequency f / fMax in (0, 1]. */
+    double normalized(Hertz f) const { return f / cfg.fMax; }
+
+  private:
+    Config cfg;
+    Hertz stepHz;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_DVFS_VF_CURVE_HH

@@ -1,0 +1,104 @@
+#include "mcd/clock_domain.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+const char *
+domainName(DomainId id)
+{
+    switch (id) {
+      case DomainId::FrontEnd: return "frontend";
+      case DomainId::Int: return "int";
+      case DomainId::Fp: return "fp";
+      case DomainId::LoadStore: return "ls";
+      case DomainId::Fetch: return "fetch";
+    }
+    panic("unknown domain id %d", static_cast<int>(id));
+}
+
+ClockDomain::ClockDomain(EventQueue &queue, const Config &config)
+    : eq(queue), cfg(config), hz(config.initialHz),
+      volts(config.initialVolt),
+      periodTicks(periodFromFrequency(config.initialHz)),
+      jitter(config.jitterSeed ^
+             (static_cast<std::uint64_t>(config.id) << 32)),
+      edgeEvent(*this)
+{
+    if (hz <= 0.0)
+        fatal("domain %s: non-positive initial frequency", name());
+}
+
+void
+ClockDomain::start(std::function<void()> on_edge)
+{
+    mcd_assert(!started, "domain %s started twice", name());
+    started = true;
+    onEdge = std::move(on_edge);
+    lastIdealEdge = eq.now();
+    lastVoltAccrual = eq.now();
+    scheduleNextEdge();
+}
+
+void
+ClockDomain::scheduleNextEdge()
+{
+    nextIdealEdge = lastIdealEdge + periodTicks;
+
+    Tick actual = nextIdealEdge;
+    if (cfg.jitterEnabled) {
+        double j = jitter.gaussian(0.0, cfg.jitterSigmaFs);
+        const double clamp = static_cast<double>(cfg.jitterClampFs);
+        j = std::clamp(j, -clamp, clamp);
+        // Never jitter an edge before "now" or before the previous
+        // edge: offset from the ideal grid only.
+        const auto floor_t = std::max(eq.now(), lastIdealEdge) + 1;
+        const double shifted = static_cast<double>(nextIdealEdge) + j;
+        actual = shifted < static_cast<double>(floor_t)
+                     ? floor_t
+                     : static_cast<Tick>(shifted);
+    }
+    nextActualEdge = actual;
+    eq.schedule(&edgeEvent, actual);
+}
+
+void
+ClockDomain::edge()
+{
+    ++cycles;
+    lastIdealEdge = nextIdealEdge;
+    accrueVoltageTime();
+    if (onEdge)
+        onEdge();
+    scheduleNextEdge();
+}
+
+void
+ClockDomain::applyOperatingPoint(Hertz f, Volt v)
+{
+    mcd_assert(f > 0.0, "domain %s: non-positive frequency", name());
+    accrueVoltageTime();
+    hz = f;
+    volts = v;
+    periodTicks = periodFromFrequency(f);
+    // The already-scheduled next edge keeps its time (the old period
+    // was in force when it was launched); the new period applies from
+    // the edge after it, which matches hardware where the new clock
+    // settles on the next cycle boundary.
+}
+
+void
+ClockDomain::accrueVoltageTime()
+{
+    const Tick now = eq.now();
+    if (now > lastVoltAccrual) {
+        v2Seconds += volts * volts * ticksToSeconds(now - lastVoltAccrual);
+        lastVoltAccrual = now;
+    }
+}
+
+} // namespace mcd

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Inter-domain synchronization interface (paper Section 2).
+ *
+ * Data crossing clock domains goes through an arbitration-based queue
+ * in the style of Sjogren & Myers, as used by the Semeraro et al. MCD
+ * implementation: a transfer launched in the source domain can be
+ * captured by the destination domain at its next clock edge *unless*
+ * the source event falls within the synchronization window (Table 1:
+ * 300 ps) of that edge, in which case capture slips one destination
+ * cycle. This models the synchronization cost that is the principal
+ * disadvantage of MCD designs; the synchronous-baseline configuration
+ * disables it.
+ */
+
+#ifndef MCDSIM_MCD_SYNC_INTERFACE_HH
+#define MCDSIM_MCD_SYNC_INTERFACE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mcd/clock_domain.hh"
+
+namespace mcd
+{
+
+/** Computes cross-domain visibility times and tracks sync penalties. */
+class SyncInterface
+{
+  public:
+    struct Config
+    {
+        /** Synchronization window (Table 1: 300 ps). */
+        Tick windowFs = ticksFromPs(300);
+
+        /** False for the fully synchronous baseline (no penalty). */
+        bool enabled = true;
+    };
+
+    explicit SyncInterface(const Config &config) : cfg(config) {}
+
+    /**
+     * Earliest time a datum produced at @p produce_time in the source
+     * domain becomes visible to consumers in @p dst.
+     */
+    Tick
+    visibleAt(const ClockDomain &dst, Tick produce_time)
+    {
+        ++crossings;
+        if (!cfg.enabled)
+            return produce_time;
+        Tick edge = dst.nextEdgeAtOrAfter(produce_time);
+        if (edge < produce_time + cfg.windowFs) {
+            // Too close to the capturing edge: slip one dst cycle.
+            ++penalties;
+            edge += dst.period();
+        }
+        return edge;
+    }
+
+    std::uint64_t crossingCount() const { return crossings; }
+    std::uint64_t penaltyCount() const { return penalties; }
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg;
+    std::uint64_t crossings = 0;
+    std::uint64_t penalties = 0;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_MCD_SYNC_INTERFACE_HH

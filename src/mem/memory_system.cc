@@ -1,0 +1,50 @@
+#include "mem/memory_system.hh"
+
+namespace mcd
+{
+
+MemorySystem::MemorySystem(const Config &config)
+    : cfg(config), _l1i(config.l1i), _l1d(config.l1d), _l2(config.l2)
+{
+    l2Latency =
+        ticksFromNs(static_cast<std::uint64_t>(cfg.l2LatencyNs + 0.5));
+    const double mem_ns =
+        cfg.memFirstChunkNs +
+        cfg.memInterChunkNs *
+            static_cast<double>(cfg.chunksPerLine > 0
+                                    ? cfg.chunksPerLine - 1
+                                    : 0);
+    memLatency = ticksFromNs(static_cast<std::uint64_t>(mem_ns + 0.5));
+}
+
+MemAccessResult
+MemorySystem::beyondL1(Addr addr)
+{
+    MemAccessResult out;
+    if (_l2.access(addr)) {
+        out.level = MemLevel::L2;
+        out.beyondL1Latency = l2Latency;
+    } else {
+        out.level = MemLevel::Memory;
+        out.beyondL1Latency = l2Latency + memLatency;
+    }
+    return out;
+}
+
+MemAccessResult
+MemorySystem::fetchAccess(Addr addr)
+{
+    if (_l1i.access(addr))
+        return MemAccessResult{};
+    return beyondL1(addr);
+}
+
+MemAccessResult
+MemorySystem::dataAccess(Addr addr)
+{
+    if (_l1d.access(addr))
+        return MemAccessResult{};
+    return beyondL1(addr);
+}
+
+} // namespace mcd

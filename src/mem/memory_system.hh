@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The memory hierarchy glue: L1I + L1D + unified L2 + main memory.
+ *
+ * Main memory is an *asynchronous external domain* in the MCD design
+ * (Figure 1): its latency is fixed wall-clock time (Table 1: 80 ns
+ * for the first chunk, 2 ns per subsequent chunk) and does not scale
+ * with any domain frequency. Cache access latencies, by contrast,
+ * are expressed in cycles of the accessing domain and therefore
+ * stretch when the domain slows down.
+ */
+
+#ifndef MCDSIM_MEM_MEMORY_SYSTEM_HH
+#define MCDSIM_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/cache.hh"
+
+namespace mcd
+{
+
+/** Where in the hierarchy an access was satisfied. */
+enum class MemLevel : std::uint8_t
+{
+    L1,
+    L2,
+    Memory,
+};
+
+/** Outcome of one hierarchy lookup. */
+struct MemAccessResult
+{
+    MemLevel level = MemLevel::L1;
+
+    /**
+     * Wall-clock latency contributed by levels *below* the L1 of the
+     * accessing domain: zero for an L1 hit; for deeper accesses the
+     * caller adds its own domain-cycle L1 latency on top.
+     */
+    Tick beyondL1Latency = 0;
+};
+
+/** Combined three-level hierarchy. */
+class MemorySystem
+{
+  public:
+    struct Config
+    {
+        Cache::Config l1i{"l1i", 64, 2, 64};
+        Cache::Config l1d{"l1d", 64, 2, 64};
+        Cache::Config l2{"l2", 1024, 1, 64};
+
+        /** L2 access latency in nanoseconds at nominal frequency. */
+        double l2LatencyNs = 12.0;
+
+        /** First-chunk main-memory latency (Table 1: 80 ns). */
+        double memFirstChunkNs = 80.0;
+
+        /** Per-additional-chunk latency (Table 1: 2 ns). */
+        double memInterChunkNs = 2.0;
+
+        /** Chunks per cache line fill. */
+        std::uint32_t chunksPerLine = 4;
+    };
+
+    explicit MemorySystem(const Config &config);
+
+    /** Instruction fetch lookup. */
+    MemAccessResult fetchAccess(Addr addr);
+
+    /** Data lookup (loads and stores share the tag path here). */
+    MemAccessResult dataAccess(Addr addr);
+
+    const Cache &l1i() const { return _l1i; }
+    const Cache &l1d() const { return _l1d; }
+    const Cache &l2() const { return _l2; }
+    const Config &config() const { return cfg; }
+
+  private:
+    MemAccessResult beyondL1(Addr addr);
+
+    Config cfg;
+    Cache _l1i;
+    Cache _l1d;
+    Cache _l2;
+    Tick l2Latency;
+    Tick memLatency;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,26 @@
+#include "power/energy_model.hh"
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+const char *
+energyCategoryName(EnergyCategory cat)
+{
+    switch (cat) {
+      case EnergyCategory::Clock: return "clock";
+      case EnergyCategory::Fetch: return "fetch";
+      case EnergyCategory::Rename: return "rename";
+      case EnergyCategory::Rob: return "rob";
+      case EnergyCategory::IssueQueue: return "issue-queue";
+      case EnergyCategory::Execute: return "execute";
+      case EnergyCategory::Cache: return "cache";
+      case EnergyCategory::Retire: return "retire";
+      case EnergyCategory::Leakage: return "leakage";
+      case EnergyCategory::Regulator: return "regulator";
+    }
+    panic("unknown energy category %d", static_cast<int>(cat));
+}
+
+} // namespace mcd

@@ -1,0 +1,112 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+Event::~Event() = default;
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    mcd_assert(ev != nullptr, "scheduling null event");
+    if (ev->_scheduled)
+        panic("event '%s' double-scheduled", ev->name());
+    if (when < _now)
+        panic("event '%s' scheduled in the past (%llu < %llu)", ev->name(),
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+
+    ev->_when = when;
+    ev->_seq = nextSeq++;
+    ev->_scheduled = true;
+    ev->_squashed = false;
+
+    heap.push_back(Entry{when, ev->priority(), ev->_seq, ev});
+    siftUp(heap.size() - 1);
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    Entry top = heap.front();
+    heap.front() = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0);
+    return top;
+}
+
+bool
+EventQueue::step()
+{
+    if (heap.empty())
+        return false;
+
+    Entry top = popTop();
+    Event *ev = top.ev;
+    _now = top.when;
+    ev->_scheduled = false;
+    if (ev->_squashed) {
+        // Consume the squashed entry without processing; the caller's
+        // time-limit check is re-evaluated before the next entry.
+        ev->_squashed = false;
+        return true;
+    }
+    ++processed;
+    ev->process();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap.empty() && heap.front().when <= limit) {
+        if (!step())
+            break;
+    }
+    if (_now < limit)
+        _now = limit;
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    return heap.empty() ? maxTick : heap.front().when;
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!(heap[parent] > heap[i]))
+            break;
+        std::swap(heap[parent], heap[i]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap.size();
+    while (true) {
+        std::size_t left = 2 * i + 1;
+        std::size_t right = left + 1;
+        std::size_t smallest = i;
+        if (left < n && heap[smallest] > heap[left])
+            smallest = left;
+        if (right < n && heap[smallest] > heap[right])
+            smallest = right;
+        if (smallest == i)
+            break;
+        std::swap(heap[i], heap[smallest]);
+        i = smallest;
+    }
+}
+
+} // namespace mcd

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Event-driven simulation kernel.
+ *
+ * mcdsim models a GALS (globally asynchronous, locally synchronous)
+ * processor: each clock domain schedules its own clock edges as events
+ * on a single global queue ordered by femtosecond timestamps. Because
+ * a domain computes its *next* edge from its *current* period, DVFS
+ * frequency changes take effect cleanly edge by edge with no special
+ * casing.
+ *
+ * Determinism: events that share a timestamp are ordered by (priority,
+ * insertion sequence), so a run is a pure function of configuration
+ * and seeds.
+ */
+
+#ifndef MCDSIM_SIM_EVENT_QUEUE_HH
+#define MCDSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mcd
+{
+
+class EventQueue;
+
+/**
+ * Base class for all schedulable activity.
+ *
+ * Events are one-shot: once processed they may be rescheduled by their
+ * owner (this is how clock edges repeat). Events are never owned by
+ * the queue; the creating component controls their lifetime and must
+ * keep them alive while scheduled. A component may let its events die
+ * still-scheduled only when the queue will never be stepped again
+ * (normal end-of-simulation teardown).
+ */
+class Event
+{
+  public:
+    /**
+     * Relative order among events at the same tick; lower runs first.
+     * Domain clock edges use the domain id so same-instant edges fire
+     * in a fixed order; samplers run after edges at the same instant.
+     */
+    static constexpr int defaultPriority = 100;
+
+    explicit Event(int priority = defaultPriority)
+        : _priority(priority)
+    {}
+
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Called by the queue when the event's time arrives. */
+    virtual void process() = 0;
+
+    /** Debug name used in panic messages. */
+    virtual const char *name() const { return "anonymous-event"; }
+
+    /** True while the event sits in a queue. */
+    bool scheduled() const { return _scheduled; }
+
+    /** Time this event is (or was last) scheduled for. */
+    Tick when() const { return _when; }
+
+    int priority() const { return _priority; }
+
+    /**
+     * Mark a scheduled event so the queue drops it instead of
+     * processing it. The owner may reschedule afterwards.
+     */
+    void squash() { _squashed = true; }
+
+  private:
+    friend class EventQueue;
+
+    Tick _when = 0;
+    std::uint64_t _seq = 0;
+    int _priority;
+    bool _scheduled = false;
+    bool _squashed = false;
+};
+
+/**
+ * Convenience event wrapping a callable. Useful for tests and
+ * experiment glue; hot paths use dedicated Event subclasses.
+ */
+template <typename F>
+class LambdaEvent : public Event
+{
+  public:
+    explicit LambdaEvent(F f, int priority = Event::defaultPriority)
+        : Event(priority), func(std::move(f))
+    {}
+
+    void process() override { func(); }
+    const char *name() const override { return "lambda-event"; }
+
+  private:
+    F func;
+};
+
+/**
+ * The global event queue: a binary heap of Event pointers ordered by
+ * (tick, priority, insertion sequence).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time: the tick of the last processed event. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p ev at absolute time @p when (>= now()). Panics if
+     * the event is already scheduled or the time is in the past.
+     */
+    void schedule(Event *ev, Tick when);
+
+    /** Process events until the queue empties or now() > @p limit. */
+    void runUntil(Tick limit);
+
+    /**
+     * Consume exactly one queue entry (processing it unless squashed);
+     * returns false if the queue is empty.
+     */
+    bool step();
+
+    /** True when no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of scheduled (including squashed) events. */
+    std::size_t size() const { return heap.size(); }
+
+    /** Total events processed since construction. */
+    std::uint64_t processedCount() const { return processed; }
+
+    /** Tick of the earliest pending event; maxTick when empty. */
+    Tick nextEventTick() const;
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Event *ev;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return seq > o.seq;
+        }
+    };
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    Entry popTop();
+
+    std::vector<Entry> heap;
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t processed = 0;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,63 @@
+#include "spectrum/fft.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+std::size_t
+nextPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+void
+fft(std::vector<std::complex<double>> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    mcd_assert(n != 0 && (n & (n - 1)) == 0, "FFT size must be a power of 2");
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang =
+            (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const std::complex<double> u = data[i + k];
+                const std::complex<double> v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+std::vector<std::complex<double>>
+realFft(const std::vector<double> &x)
+{
+    const std::size_t n = nextPow2(x.size());
+    std::vector<std::complex<double>> data(n, {0.0, 0.0});
+    for (std::size_t i = 0; i < x.size(); ++i)
+        data[i] = {x[i], 0.0};
+    fft(data);
+    return data;
+}
+
+} // namespace mcd

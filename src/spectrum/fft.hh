@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Radix-2 fast Fourier transform used by the spectral analysis of
+ * queue-occupancy traces (paper Section 5.2, Figure 8).
+ */
+
+#ifndef MCDSIM_SPECTRUM_FFT_HH
+#define MCDSIM_SPECTRUM_FFT_HH
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace mcd
+{
+
+/** Smallest power of two >= @p n (returns 1 for n == 0). */
+std::size_t nextPow2(std::size_t n);
+
+/**
+ * In-place iterative radix-2 decimation-in-time FFT.
+ * @param data  Complex samples; size must be a power of two.
+ * @param inverse  When true, computes the (unnormalized) inverse
+ *                 transform; the caller divides by N if needed.
+ */
+void fft(std::vector<std::complex<double>> &data, bool inverse = false);
+
+/**
+ * Forward FFT of a real sequence, zero-padded to the next power of
+ * two. Returns the full complex spectrum (length nextPow2(x.size())).
+ */
+std::vector<std::complex<double>> realFft(const std::vector<double> &x);
+
+} // namespace mcd
+
+#endif // MCDSIM_SPECTRUM_FFT_HH

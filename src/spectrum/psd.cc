@@ -1,0 +1,261 @@
+#include "spectrum/psd.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "spectrum/fft.hh"
+
+namespace mcd
+{
+
+namespace
+{
+
+/**
+ * Fold the full complex spectrum of a (possibly zero-padded) windowed
+ * real series into a one-sided variance density and accumulate it
+ * into @p out (which must be pre-sized to fft_size/2 bins).
+ *
+ * @param norm  |X|^2 is divided by (sample_rate * norm); for a window
+ *              w applied to n samples, norm = sum(w^2).
+ */
+void
+accumulateOneSided(const std::vector<std::complex<double>> &spec,
+                   double sample_rate, double norm,
+                   std::vector<double> &out)
+{
+    const std::size_t m = spec.size();
+    const std::size_t half = m / 2;
+    mcd_assert(out.size() == half, "mis-sized accumulation buffer");
+    for (std::size_t k = 1; k <= half; ++k) {
+        const double p = std::norm(spec[k]) / (sample_rate * norm);
+        // One-sided: double everything except the Nyquist bin.
+        out[k - 1] += (k == half) ? p : 2.0 * p;
+    }
+}
+
+VarianceSpectrum
+makeSpectrum(double sample_rate, std::size_t fft_size,
+             std::vector<double> density)
+{
+    VarianceSpectrum vs;
+    vs.sampleRate = sample_rate;
+    const std::size_t half = fft_size / 2;
+    vs.frequency.resize(half);
+    for (std::size_t k = 1; k <= half; ++k) {
+        vs.frequency[k - 1] =
+            sample_rate * static_cast<double>(k) /
+            static_cast<double>(fft_size);
+    }
+    vs.density = std::move(density);
+    return vs;
+}
+
+} // namespace
+
+double
+VarianceSpectrum::totalVariance() const
+{
+    if (frequency.size() < 2)
+        return 0.0;
+    const double df = frequency[1] - frequency[0];
+    double sum = 0.0;
+    for (double d : density)
+        sum += d;
+    return sum * df;
+}
+
+double
+VarianceSpectrum::bandVariance(double lo, double hi) const
+{
+    if (frequency.size() < 2 || hi <= lo)
+        return 0.0;
+    const double df = frequency[1] - frequency[0];
+    double sum = 0.0;
+    for (std::size_t i = 0; i < frequency.size(); ++i) {
+        if (frequency[i] >= lo && frequency[i] <= hi)
+            sum += density[i];
+    }
+    return sum * df;
+}
+
+double
+VarianceSpectrum::shortWavelengthVariance(double max_wavelength) const
+{
+    if (max_wavelength <= 0.0)
+        return 0.0;
+    const double lo = sampleRate / max_wavelength;
+    return bandVariance(lo, sampleRate);
+}
+
+double
+VarianceSpectrum::fastVarianceFraction(double max_wavelength) const
+{
+    const double total = totalVariance();
+    if (total <= 0.0)
+        return 0.0;
+    return shortWavelengthVariance(max_wavelength) / total;
+}
+
+double
+VarianceSpectrum::bandVarianceFraction(double min_wavelength,
+                                       double max_wavelength) const
+{
+    const double total = totalVariance();
+    if (total <= 0.0 || min_wavelength <= 0.0 ||
+        max_wavelength <= min_wavelength) {
+        return 0.0;
+    }
+    // Wavelength L samples <-> frequency sampleRate / L.
+    return bandVariance(sampleRate / max_wavelength,
+                        sampleRate / min_wavelength) /
+           total;
+}
+
+void
+removeMean(std::vector<double> &x)
+{
+    if (x.empty())
+        return;
+    double mean = 0.0;
+    for (double v : x)
+        mean += v;
+    mean /= static_cast<double>(x.size());
+    for (double &v : x)
+        v -= mean;
+}
+
+void
+removeLinearTrend(std::vector<double> &x)
+{
+    const std::size_t n = x.size();
+    if (n < 2) {
+        removeMean(x);
+        return;
+    }
+    // Least-squares fit of x[i] = a + b*i.
+    const double nn = static_cast<double>(n);
+    double sum_i = 0.0, sum_x = 0.0, sum_ix = 0.0, sum_ii = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double fi = static_cast<double>(i);
+        sum_i += fi;
+        sum_x += x[i];
+        sum_ix += fi * x[i];
+        sum_ii += fi * fi;
+    }
+    const double denom = nn * sum_ii - sum_i * sum_i;
+    const double b = denom != 0.0 ? (nn * sum_ix - sum_i * sum_x) / denom
+                                  : 0.0;
+    const double a = (sum_x - b * sum_i) / nn;
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] -= a + b * static_cast<double>(i);
+}
+
+VarianceSpectrum
+periodogram(std::vector<double> x, double sample_rate)
+{
+    mcd_assert(sample_rate > 0.0, "non-positive sample rate");
+    if (x.size() < 2)
+        return VarianceSpectrum{sample_rate, {}, {}};
+
+    removeMean(x);
+    const std::size_t n = x.size();
+    auto spec = realFft(x);
+    std::vector<double> density(spec.size() / 2, 0.0);
+    accumulateOneSided(spec, sample_rate, static_cast<double>(n), density);
+    return makeSpectrum(sample_rate, spec.size(), std::move(density));
+}
+
+VarianceSpectrum
+welchPsd(const std::vector<double> &x, double sample_rate,
+         std::size_t segment_size)
+{
+    mcd_assert(sample_rate > 0.0, "non-positive sample rate");
+    if (x.size() < 2)
+        return VarianceSpectrum{sample_rate, {}, {}};
+
+    // Power-of-two segment no longer than the series; fall back to a
+    // padded periodogram below when the series is too short for even
+    // one 8-sample segment.
+    std::size_t seg = nextPow2(std::max<std::size_t>(segment_size, 8));
+    while (seg > x.size() && seg > 8)
+        seg >>= 1;
+    if (seg > x.size()) {
+        std::vector<double> copy = x;
+        return periodogram(std::move(copy), sample_rate);
+    }
+
+    // Hann window and its energy.
+    std::vector<double> window(seg);
+    double norm = 0.0;
+    for (std::size_t i = 0; i < seg; ++i) {
+        window[i] = 0.5 * (1.0 - std::cos(2.0 * M_PI *
+                                          static_cast<double>(i) /
+                                          static_cast<double>(seg - 1)));
+        norm += window[i] * window[i];
+    }
+
+    std::vector<double> detrended = x;
+    removeMean(detrended);
+
+    const std::size_t hop = seg / 2;
+    std::vector<double> density(seg / 2, 0.0);
+    std::size_t segments = 0;
+    std::vector<std::complex<double>> buf(seg);
+    for (std::size_t start = 0; start + seg <= detrended.size();
+         start += hop) {
+        for (std::size_t i = 0; i < seg; ++i)
+            buf[i] = {detrended[start + i] * window[i], 0.0};
+        fft(buf);
+        accumulateOneSided(buf, sample_rate, norm, density);
+        ++segments;
+    }
+    if (segments == 0) {
+        // Series shorter than one segment: fall back to a padded
+        // periodogram.
+        return periodogram(detrended, sample_rate);
+    }
+    for (double &d : density)
+        d /= static_cast<double>(segments);
+    return makeSpectrum(sample_rate, seg, std::move(density));
+}
+
+VarianceSpectrum
+sineMultitaperPsd(const std::vector<double> &x, double sample_rate,
+                  std::size_t tapers)
+{
+    mcd_assert(sample_rate > 0.0, "non-positive sample rate");
+    if (x.size() < 2)
+        return VarianceSpectrum{sample_rate, {}, {}};
+    if (tapers == 0)
+        tapers = 1;
+
+    std::vector<double> detrended = x;
+    removeLinearTrend(detrended);
+
+    const std::size_t n = detrended.size();
+    const std::size_t m = nextPow2(n);
+    std::vector<double> density(m / 2, 0.0);
+    std::vector<std::complex<double>> buf(m);
+
+    for (std::size_t k = 1; k <= tapers; ++k) {
+        // Riedel-Sidorenko sine taper: unit energy by construction.
+        const double scale = std::sqrt(2.0 / (static_cast<double>(n) + 1.0));
+        std::fill(buf.begin(), buf.end(), std::complex<double>(0.0, 0.0));
+        for (std::size_t i = 0; i < n; ++i) {
+            const double w =
+                scale * std::sin(M_PI * static_cast<double>(k) *
+                                 (static_cast<double>(i) + 1.0) /
+                                 (static_cast<double>(n) + 1.0));
+            buf[i] = {detrended[i] * w, 0.0};
+        }
+        fft(buf);
+        accumulateOneSided(buf, sample_rate, 1.0, density);
+    }
+    for (double &d : density)
+        d /= static_cast<double>(tapers);
+    return makeSpectrum(sample_rate, m, std::move(density));
+}
+
+} // namespace mcd

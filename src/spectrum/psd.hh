@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Power/variance spectral density estimation.
+ *
+ * The paper classifies benchmark workload variability by estimating
+ * the variance spectrum of issue-queue occupancy traces with a
+ * multi-taper method, then integrating the variance density over the
+ * short-wavelength band (Section 5.2, Figure 8). This module provides
+ * a plain periodogram, Welch's averaged-periodogram estimator, and a
+ * sine-taper multitaper estimator (Riedel & Sidorenko tapers), which
+ * approximates the Slepian multitaper the paper cites while remaining
+ * dependency-free.
+ */
+
+#ifndef MCDSIM_SPECTRUM_PSD_HH
+#define MCDSIM_SPECTRUM_PSD_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mcd
+{
+
+/**
+ * A one-sided variance spectrum: density[i] is variance per unit
+ * frequency at frequency freq[i] (cycles per sample period times the
+ * sampling rate). Integrating density over all frequencies recovers
+ * the series variance (Parseval).
+ */
+struct VarianceSpectrum
+{
+    /** Sampling rate the series was recorded at (Hz). */
+    double sampleRate = 1.0;
+
+    /** Frequencies in Hz, ascending, excluding DC. */
+    std::vector<double> frequency;
+
+    /** Variance density (units^2 / Hz) at each frequency. */
+    std::vector<double> density;
+
+    /** Total variance by trapezoidal integration of the density. */
+    double totalVariance() const;
+
+    /** Variance contributed by frequencies in [lo, hi] Hz. */
+    double bandVariance(double lo, double hi) const;
+
+    /**
+     * Variance contributed by wavelengths (in sample periods) shorter
+     * than @p max_wavelength, i.e. the "fast" band in the paper's
+     * classification. A wavelength of L sample periods corresponds to
+     * frequency sampleRate / L.
+     */
+    double shortWavelengthVariance(double max_wavelength) const;
+
+    /** Fraction of total variance in the short-wavelength band. */
+    double fastVarianceFraction(double max_wavelength) const;
+
+    /**
+     * Fraction of total variance at wavelengths (in sample periods)
+     * within [min_wavelength, max_wavelength]. This is the paper's
+     * "interesting wavelength range": shorter than the fixed control
+     * interval (so fixed-interval schemes average it away) but longer
+     * than sample-scale noise (which the deviation window absorbs).
+     */
+    double bandVarianceFraction(double min_wavelength,
+                                double max_wavelength) const;
+};
+
+/** Remove the mean from @p x (in place). */
+void removeMean(std::vector<double> &x);
+
+/** Remove a least-squares linear trend from @p x (in place). */
+void removeLinearTrend(std::vector<double> &x);
+
+/**
+ * Plain (rectangular-window) periodogram of @p x sampled at
+ * @p sample_rate Hz. The mean is removed before transforming.
+ */
+VarianceSpectrum periodogram(std::vector<double> x, double sample_rate);
+
+/**
+ * Welch PSD: average of Hann-windowed, 50%-overlapped segment
+ * periodograms.
+ * @param segment_size  Samples per segment (rounded up to a power of
+ *                      two internally); clamped to the series length.
+ */
+VarianceSpectrum welchPsd(const std::vector<double> &x, double sample_rate,
+                          std::size_t segment_size);
+
+/**
+ * Sine-taper multitaper PSD estimate.
+ * @param tapers  Number of orthogonal sine tapers to average
+ *                (typically 4-8; more tapers trade variance for bias).
+ */
+VarianceSpectrum sineMultitaperPsd(const std::vector<double> &x,
+                                   double sample_rate, std::size_t tapers);
+
+} // namespace mcd
+
+#endif // MCDSIM_SPECTRUM_PSD_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-bin histogram, used for queue-occupancy distributions and for
+ * validating generated workload characteristics in tests.
+ */
+
+#ifndef MCDSIM_STATS_HISTOGRAM_HH
+#define MCDSIM_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+/** Histogram over [lo, hi) with uniform bins plus under/overflow. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins)
+        : _lo(lo), _hi(hi), counts(bins, 0)
+    {
+        mcd_assert(hi > lo && bins > 0, "degenerate histogram");
+    }
+
+    void
+    add(double x)
+    {
+        ++total;
+        if (x < _lo) {
+            ++underflow;
+        } else if (x >= _hi) {
+            ++overflow;
+        } else {
+            const auto bin = static_cast<std::size_t>(
+                (x - _lo) / (_hi - _lo) * static_cast<double>(counts.size()));
+            ++counts[bin < counts.size() ? bin : counts.size() - 1];
+        }
+    }
+
+    std::size_t binCount() const { return counts.size(); }
+    std::uint64_t binAt(std::size_t i) const { return counts[i]; }
+    std::uint64_t totalCount() const { return total; }
+    std::uint64_t underflowCount() const { return underflow; }
+    std::uint64_t overflowCount() const { return overflow; }
+
+    /** Lower edge of bin @p i. */
+    double
+    binLowerEdge(std::size_t i) const
+    {
+        return _lo + (_hi - _lo) * static_cast<double>(i) /
+               static_cast<double>(counts.size());
+    }
+
+    /** Fraction of in-range samples at or below bin @p i. */
+    double
+    cumulativeFraction(std::size_t i) const
+    {
+        std::uint64_t c = underflow;
+        for (std::size_t b = 0; b <= i && b < counts.size(); ++b)
+            c += counts[b];
+        return total ? static_cast<double>(c) / static_cast<double>(total)
+                     : 0.0;
+    }
+
+  private:
+    double _lo;
+    double _hi;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t total = 0;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_STATS_HISTOGRAM_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Streaming summary statistics (Welford) used throughout mcdsim for
+ * queue occupancies, IPC, power, and controller activity counters.
+ */
+
+#ifndef MCDSIM_STATS_SUMMARY_HH
+#define MCDSIM_STATS_SUMMARY_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mcd
+{
+
+/**
+ * Single-pass mean/variance/min/max accumulator.
+ *
+ * Uses Welford's algorithm so variance stays numerically stable over
+ * the hundreds of millions of samples a long run produces.
+ */
+class SummaryStats
+{
+  public:
+    /** Add one observation. */
+    void
+    add(double x)
+    {
+        ++n;
+        const double delta = x - _mean;
+        _mean += delta / static_cast<double>(n);
+        m2 += delta * (x - _mean);
+        if (x < _min)
+            _min = x;
+        if (x > _max)
+            _max = x;
+        _sum += x;
+    }
+
+    /** Merge another accumulator into this one (Chan's formula). */
+    void
+    merge(const SummaryStats &o)
+    {
+        if (o.n == 0)
+            return;
+        if (n == 0) {
+            *this = o;
+            return;
+        }
+        const double delta = o._mean - _mean;
+        const auto total = n + o.n;
+        m2 += o.m2 + delta * delta * static_cast<double>(n) *
+              static_cast<double>(o.n) / static_cast<double>(total);
+        _mean += delta * static_cast<double>(o.n) /
+                 static_cast<double>(total);
+        _sum += o._sum;
+        if (o._min < _min)
+            _min = o._min;
+        if (o._max > _max)
+            _max = o._max;
+        n = total;
+    }
+
+    /** Discard all observations. */
+    void reset() { *this = SummaryStats(); }
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return _sum; }
+    double mean() const { return n ? _mean : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        return n ? m2 / static_cast<double>(n) : 0.0;
+    }
+
+    /** Sample variance (n - 1 denominator). */
+    double
+    sampleVariance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+    }
+
+    double min() const { return n ? _min : 0.0; }
+    double max() const { return n ? _max : 0.0; }
+
+  private:
+    std::uint64_t n = 0;
+    double _mean = 0.0;
+    double m2 = 0.0;
+    double _sum = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_STATS_SUMMARY_HH

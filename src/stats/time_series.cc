@@ -1,0 +1,42 @@
+#include "stats/time_series.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+std::vector<double>
+TimeSeries::bucketMeans(std::size_t buckets) const
+{
+    std::vector<double> out;
+    if (buckets == 0 || values.empty())
+        return out;
+    out.reserve(buckets);
+    const std::size_t n = values.size();
+    for (std::size_t b = 0; b < buckets; ++b) {
+        const std::size_t lo = b * n / buckets;
+        std::size_t hi = (b + 1) * n / buckets;
+        if (hi <= lo)
+            hi = lo + 1;
+        double sum = 0.0;
+        for (std::size_t i = lo; i < hi && i < n; ++i)
+            sum += values[i];
+        out.push_back(sum / static_cast<double>(hi - lo));
+    }
+    return out;
+}
+
+void
+TimeSeries::writeCsv(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    os << "time_s," << _name << "\n";
+    for (std::size_t i = 0; i < values.size(); ++i)
+        os << ticksToSeconds(ticks[i]) << "," << values[i] << "\n";
+}
+
+} // namespace mcd

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Time-stamped sample recording, used for frequency traces (Figure 7),
+ * queue-occupancy traces feeding the spectral analysis (Figure 8), and
+ * general experiment output.
+ */
+
+#ifndef MCDSIM_STATS_TIME_SERIES_HH
+#define MCDSIM_STATS_TIME_SERIES_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/summary.hh"
+
+namespace mcd
+{
+
+/**
+ * A (tick, value) series with optional decimation.
+ *
+ * Decimation keeps memory bounded on multi-millisecond runs: with
+ * stride k, only every k-th add() is stored, but summary statistics
+ * still see every sample.
+ */
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(std::string series_name = "series",
+                        std::size_t stride = 1)
+        : _name(std::move(series_name)),
+          _stride(stride ? stride : 1)
+    {}
+
+    /** Record one observation at time @p t. */
+    void
+    add(Tick t, double value)
+    {
+        stats.add(value);
+        if (counter++ % _stride == 0) {
+            ticks.push_back(t);
+            values.push_back(value);
+        }
+    }
+
+    const std::string &name() const { return _name; }
+    std::size_t size() const { return values.size(); }
+    bool empty() const { return values.empty(); }
+
+    Tick tickAt(std::size_t i) const { return ticks[i]; }
+    double valueAt(std::size_t i) const { return values[i]; }
+
+    const std::vector<Tick> &tickData() const { return ticks; }
+    const std::vector<double> &valueData() const { return values; }
+
+    /** Summary over *all* samples, including decimated ones. */
+    const SummaryStats &summary() const { return stats; }
+
+    /**
+     * Resample to a fixed number of points by averaging buckets;
+     * handy for printing compact trace tables in benches.
+     */
+    std::vector<double> bucketMeans(std::size_t buckets) const;
+
+    /** Emit "tick_seconds,value" CSV lines to @p path. */
+    void writeCsv(const std::string &path) const;
+
+    void
+    clear()
+    {
+        ticks.clear();
+        values.clear();
+        stats.reset();
+        counter = 0;
+    }
+
+  private:
+    std::string _name;
+    std::size_t _stride;
+    std::size_t counter = 0;
+    std::vector<Tick> ticks;
+    std::vector<double> values;
+    SummaryStats stats;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_STATS_TIME_SERIES_HH

@@ -1,0 +1,430 @@
+#include "workload/benchmarks.hh"
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+namespace
+{
+
+/** Common defaults for an integer-dominated phase. */
+PhaseSpec
+intPhase(const char *label, double weight)
+{
+    PhaseSpec p;
+    p.label = label;
+    p.weight = weight;
+    p.fracFp = 0.0;
+    p.fracLoad = 0.20;
+    p.fracStore = 0.09;
+    p.fracBranch = 0.14;
+    p.meanDepDist = 9.0;
+    p.workingSetKb = 32;
+    p.seqFraction = 0.6;
+    p.predictability = 0.965;
+    return p;
+}
+
+/** Common defaults for a floating-point-dominated phase. */
+PhaseSpec
+fpPhase(const char *label, double weight, double frac_fp)
+{
+    PhaseSpec p;
+    p.label = label;
+    p.weight = weight;
+    p.fracFp = frac_fp;
+    p.fracLoad = 0.22;
+    p.fracStore = 0.10;
+    p.fracBranch = 0.06;
+    p.meanDepDist = 14.0;
+    p.workingSetKb = 128;
+    p.seqFraction = 0.8;
+    p.predictability = 0.985;
+    return p;
+}
+
+std::vector<PhaseSpec>
+makeEpicDecode()
+{
+    // Figure 7: FP queue empty, a modest FP phase around 25% of the
+    // run, empty again, then a strong FP burst around 82%.
+    auto p1 = intPhase("int-head", 25.0);
+    auto p2 = fpPhase("fp-modest", 10.0, 0.22);
+    p2.meanDepDist = 7.0;
+    auto p3 = intPhase("int-mid", 30.0);
+    auto p4 = fpPhase("fp-burst", 17.0, 0.55);
+    auto p5 = intPhase("int-tail", 18.0);
+    return {p1, p2, p3, p4, p5};
+}
+
+std::vector<PhaseSpec>
+makeEpicEncode()
+{
+    // Filter pipeline alternating between INT bookkeeping and FP
+    // transform bursts at a fast cadence.
+    auto p = fpPhase("xform", 1.0, 0.40);
+    p.modShape = ModShape::Sine;
+    p.modDepth = 0.5;
+    p.modPeriodInsts = 33000;
+    p.meanDepDist = 6.0;
+    return {p};
+}
+
+std::vector<PhaseSpec>
+makeAdpcmEnc()
+{
+    auto p = intPhase("encode", 1.0);
+    p.fracLoad = 0.14;
+    p.fracStore = 0.05;
+    p.meanDepDist = 4.5; // tight recurrence, low ILP
+    p.workingSetKb = 8;
+    p.predictability = 0.985;
+    return {p};
+}
+
+std::vector<PhaseSpec>
+makeAdpcmDec()
+{
+    auto p = intPhase("decode", 1.0);
+    p.fracLoad = 0.12;
+    p.fracStore = 0.08;
+    p.meanDepDist = 5.0;
+    p.workingSetKb = 8;
+    p.predictability = 0.985;
+    return {p};
+}
+
+std::vector<PhaseSpec>
+makeG721Enc()
+{
+    auto p1 = intPhase("quantize", 3.0);
+    p1.meanDepDist = 6.5;
+    p1.fracMulOfInt = 0.12;
+    auto p2 = intPhase("predict", 2.0);
+    p2.meanDepDist = 5.0;
+    p2.fracMulOfInt = 0.18;
+    p2.fracDivOfInt = 0.02;
+    return {p1, p2};
+}
+
+std::vector<PhaseSpec>
+makeMpeg2Dec()
+{
+    // Macroblock-scale bursts: IDCT (FP-heavy) vs. motion
+    // compensation (memory-heavy), alternating quickly.
+    auto idct = fpPhase("idct", 1.0, 0.45);
+    idct.modShape = ModShape::Square;
+    idct.modDepth = 0.5;
+    idct.modPeriodInsts = 17000;
+    idct.workingSetKb = 256;
+    idct.meanDepDist = 12.0;
+    auto mc = intPhase("motion-comp", 1.0);
+    mc.fracLoad = 0.30;
+    mc.workingSetKb = 512;
+    mc.seqFraction = 0.5;
+    mc.modShape = ModShape::Square;
+    mc.modDepth = 0.5;
+    mc.modPeriodInsts = 20000;
+    return {idct, mc};
+}
+
+std::vector<PhaseSpec>
+makeGzip()
+{
+    auto deflate = intPhase("deflate", 3.0);
+    deflate.workingSetKb = 256;
+    deflate.seqFraction = 0.45;
+    deflate.predictability = 0.93;
+    deflate.meanDepDist = 7.0;
+    auto copy = intPhase("copy", 1.0);
+    copy.fracLoad = 0.30;
+    copy.fracStore = 0.22;
+    copy.seqFraction = 0.95;
+    copy.meanDepDist = 16.0;
+    return {deflate, copy};
+}
+
+std::vector<PhaseSpec>
+makeGcc()
+{
+    // Many short, dissimilar phases: parsing, RTL generation,
+    // register allocation — fast, irregular variation.
+    auto parse = intPhase("parse", 1.0);
+    parse.predictability = 0.90;
+    parse.workingSetKb = 512;
+    parse.seqFraction = 0.35;
+    parse.meanDepDist = 7.0;
+    parse.modShape = ModShape::Square;
+    parse.modDepth = 0.55;
+    parse.modPeriodInsts = 18000;
+    auto rtl = intPhase("rtl", 1.0);
+    rtl.workingSetKb = 1024;
+    rtl.seqFraction = 0.3;
+    rtl.meanDepDist = 10.0;
+    rtl.predictability = 0.91;
+    rtl.modShape = ModShape::Sine;
+    rtl.modDepth = 0.5;
+    rtl.modPeriodInsts = 23000;
+    auto regalloc = intPhase("regalloc", 1.0);
+    regalloc.workingSetKb = 256;
+    regalloc.meanDepDist = 5.0;
+    regalloc.predictability = 0.89;
+    regalloc.modShape = ModShape::Square;
+    regalloc.modDepth = 0.6;
+    regalloc.modPeriodInsts = 20000;
+    return {parse, rtl, regalloc};
+}
+
+std::vector<PhaseSpec>
+makeMcf()
+{
+    // Pointer-chasing network simplex: huge working set, almost no
+    // locality, very low ILP — the load/store domain dominates.
+    auto p = intPhase("simplex", 1.0);
+    p.fracLoad = 0.35;
+    p.fracStore = 0.08;
+    p.workingSetKb = 8192;
+    p.seqFraction = 0.05;
+    p.hotFraction = 0.25;
+    p.hotSetKb = 256;
+    p.meanDepDist = 4.0;
+    p.predictability = 0.95;
+    return {p};
+}
+
+std::vector<PhaseSpec>
+makeParser()
+{
+    auto p1 = intPhase("tokenize", 1.0);
+    p1.predictability = 0.93;
+    p1.workingSetKb = 128;
+    auto p2 = intPhase("link", 2.0);
+    p2.predictability = 0.91;
+    p2.workingSetKb = 512;
+    p2.seqFraction = 0.25;
+    p2.meanDepDist = 5.5;
+    return {p1, p2};
+}
+
+std::vector<PhaseSpec>
+makeVpr()
+{
+    auto place = intPhase("place", 2.0);
+    place.fracFp = 0.04;
+    place.workingSetKb = 512;
+    place.seqFraction = 0.3;
+    place.modShape = ModShape::Sine;
+    place.modDepth = 0.3;
+    place.modPeriodInsts = 400000; // slow annealing-temperature drift
+    auto route = intPhase("route", 1.0);
+    route.fracFp = 0.02;
+    route.workingSetKb = 1024;
+    route.seqFraction = 0.2;
+    route.meanDepDist = 5.5;
+    return {place, route};
+}
+
+std::vector<PhaseSpec>
+makeBzip2()
+{
+    // Block-structured: sorting (branchy, random access) alternating
+    // with Huffman coding (serial) at block cadence.
+    auto sort = intPhase("blocksort", 1.0);
+    sort.workingSetKb = 1024;
+    sort.seqFraction = 0.2;
+    sort.predictability = 0.91;
+    sort.meanDepDist = 10.0;
+    sort.modShape = ModShape::Square;
+    sort.modDepth = 0.7;
+    sort.modPeriodInsts = 26000;
+    auto huff = intPhase("huffman", 1.0);
+    huff.meanDepDist = 4.0;
+    huff.workingSetKb = 64;
+    huff.modShape = ModShape::Square;
+    huff.modDepth = 0.7;
+    huff.modPeriodInsts = 22000;
+    return {sort, huff};
+}
+
+std::vector<PhaseSpec>
+makeApplu()
+{
+    auto p = fpPhase("sor-sweep", 1.0, 0.55);
+    p.workingSetKb = 2048;
+    p.seqFraction = 0.9;
+    p.meanDepDist = 16.0;
+    return {p};
+}
+
+std::vector<PhaseSpec>
+makeArt()
+{
+    // Neural-net match/learn alternation with sharp activity swings
+    // and a large, streamed working set.
+    auto match = fpPhase("match", 1.0, 0.50);
+    match.workingSetKb = 4096;
+    match.seqFraction = 0.85;
+    match.hotFraction = 0.5;
+    match.hotSetKb = 128;
+    match.modShape = ModShape::Square;
+    match.modDepth = 0.5;
+    match.modPeriodInsts = 13000;
+    auto learn = fpPhase("learn", 1.0, 0.30);
+    learn.workingSetKb = 4096;
+    learn.fracLoad = 0.30;
+    learn.hotFraction = 0.5;
+    learn.hotSetKb = 128;
+    learn.modShape = ModShape::Square;
+    learn.modDepth = 0.5;
+    learn.modPeriodInsts = 16000;
+    return {match, learn};
+}
+
+std::vector<PhaseSpec>
+makeEquake()
+{
+    // Sparse-matrix earthquake simulation: FP bursts per time step.
+    auto p = fpPhase("smvp", 1.0, 0.45);
+    p.workingSetKb = 2048;
+    p.seqFraction = 0.4;
+    p.hotFraction = 0.7;
+    p.hotSetKb = 64;
+    p.meanDepDist = 10.0;
+    p.modShape = ModShape::Square;
+    p.modDepth = 0.55;
+    p.modPeriodInsts = 14000;
+    return {p};
+}
+
+std::vector<PhaseSpec>
+makeMesa()
+{
+    auto p = fpPhase("rasterize", 1.0, 0.35);
+    p.workingSetKb = 512;
+    p.meanDepDist = 14.0;
+    p.fracBranch = 0.10;
+    p.predictability = 0.975;
+    return {p};
+}
+
+std::vector<PhaseSpec>
+makeSwim()
+{
+    auto p = fpPhase("stencil", 1.0, 0.60);
+    p.workingSetKb = 4096;
+    p.seqFraction = 0.95;
+    p.meanDepDist = 18.0;
+    return {p};
+}
+
+struct Registration
+{
+    BenchmarkInfo info;
+    std::vector<PhaseSpec> (*build)();
+    bool cycle;
+};
+
+const std::vector<Registration> &
+registry()
+{
+    static const std::vector<Registration> regs = {
+        {{"epic_decode", "MediaBench",
+          "image decompression; FP queue empty except two bursts",
+          false},
+         makeEpicDecode, false},
+        {{"epic_encode", "MediaBench",
+          "wavelet image compression; fast INT/FP alternation", true},
+         makeEpicEncode, false},
+        {{"adpcm_enc", "MediaBench",
+          "speech compression; tight serial integer loop", false},
+         makeAdpcmEnc, false},
+        {{"adpcm_dec", "MediaBench",
+          "speech decompression; tight serial integer loop", false},
+         makeAdpcmDec, false},
+        {{"g721_enc", "MediaBench",
+          "voice compression; multiply-heavy integer phases", false},
+         makeG721Enc, true},
+        {{"mpeg2_dec", "MediaBench",
+          "video decoding; macroblock-scale IDCT/motion bursts", true},
+         makeMpeg2Dec, true},
+        {{"gzip", "SPEC2000int",
+          "compression; deflate/copy phase alternation", false},
+         makeGzip, true},
+        {{"gcc", "SPEC2000int",
+          "compiler; many short dissimilar phases", true},
+         makeGcc, true},
+        {{"mcf", "SPEC2000int",
+          "network simplex; memory-bound pointer chasing", false},
+         makeMcf, false},
+        {{"parser", "SPEC2000int",
+          "natural-language parser; branchy linked structures", false},
+         makeParser, true},
+        {{"vpr", "SPEC2000int",
+          "FPGA place & route; slow annealing drift", false},
+         makeVpr, true},
+        {{"bzip2", "SPEC2000int",
+          "compression; block-cadence sort/Huffman swings", true},
+         makeBzip2, true},
+        {{"applu", "SPEC2000fp",
+          "PDE solver; steady streaming FP", false},
+         makeApplu, false},
+        {{"art", "SPEC2000fp",
+          "neural network; sharp match/learn activity swings", true},
+         makeArt, true},
+        {{"equake", "SPEC2000fp",
+          "seismic simulation; per-timestep FP bursts", true},
+         makeEquake, false},
+        {{"mesa", "SPEC2000fp",
+          "software rendering; steady mixed FP", false},
+         makeMesa, false},
+        {{"swim", "SPEC2000fp",
+          "shallow-water stencil; steady streaming FP", false},
+         makeSwim, false},
+    };
+    return regs;
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &
+benchmarkList()
+{
+    static const std::vector<BenchmarkInfo> list = [] {
+        std::vector<BenchmarkInfo> out;
+        for (const auto &r : registry())
+            out.push_back(r.info);
+        return out;
+    }();
+    return list;
+}
+
+const BenchmarkInfo &
+benchmarkInfo(const std::string &name)
+{
+    for (const auto &r : registry()) {
+        if (r.info.name == name)
+            return r.info;
+    }
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+std::unique_ptr<PhaseTraceGenerator>
+makeBenchmark(const std::string &name, std::uint64_t total,
+              std::uint64_t seed)
+{
+    for (const auto &r : registry()) {
+        if (r.info.name != name)
+            continue;
+        // Distinct per-benchmark seed so profiles are decorrelated
+        // even with the same base seed.
+        std::uint64_t h = seed;
+        for (char c : name)
+            h = h * 1099511628211ull + static_cast<unsigned char>(c);
+        return std::make_unique<PhaseTraceGenerator>(name, r.build(),
+                                                     total, h, r.cycle);
+    }
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace mcd

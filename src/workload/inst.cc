@@ -1,0 +1,44 @@
+#include "workload/inst.hh"
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+const char *
+instClassName(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::IntAlu: return "int-alu";
+      case InstClass::IntMul: return "int-mul";
+      case InstClass::IntDiv: return "int-div";
+      case InstClass::FpAdd: return "fp-add";
+      case InstClass::FpMul: return "fp-mul";
+      case InstClass::FpDiv: return "fp-div";
+      case InstClass::FpSqrt: return "fp-sqrt";
+      case InstClass::Load: return "load";
+      case InstClass::Store: return "store";
+      case InstClass::Branch: return "branch";
+    }
+    panic("unknown instruction class %d", static_cast<int>(cls));
+}
+
+unsigned
+instLatency(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::IntAlu: return 1;
+      case InstClass::IntMul: return 3;
+      case InstClass::IntDiv: return 12;
+      case InstClass::FpAdd: return 2;
+      case InstClass::FpMul: return 4;
+      case InstClass::FpDiv: return 12;
+      case InstClass::FpSqrt: return 24;
+      case InstClass::Load: return 1;  // address generation
+      case InstClass::Store: return 1; // address generation
+      case InstClass::Branch: return 1;
+    }
+    panic("unknown instruction class %d", static_cast<int>(cls));
+}
+
+} // namespace mcd

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Dynamic-instruction record produced by workload sources and consumed
+ * by the timing model.
+ *
+ * mcdsim is a trace-driven timing simulator in the SimpleScalar
+ * tradition: instructions carry no semantics, only the attributes that
+ * determine timing — class, register dependences (as distances to the
+ * producing instruction), effective address, and branch behaviour.
+ */
+
+#ifndef MCDSIM_WORKLOAD_INST_HH
+#define MCDSIM_WORKLOAD_INST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mcd
+{
+
+/** Operation classes, matching the Table 1 functional-unit mix. */
+enum class InstClass : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAdd,
+    FpMul,
+    FpDiv,
+    FpSqrt,
+    Load,
+    Store,
+    Branch,
+};
+
+/** Number of InstClass values. */
+constexpr std::size_t numInstClasses = 10;
+
+/** Human-readable class name. */
+const char *instClassName(InstClass cls);
+
+/** True for floating-point operation classes. */
+constexpr bool
+isFp(InstClass cls)
+{
+    return cls == InstClass::FpAdd || cls == InstClass::FpMul ||
+           cls == InstClass::FpDiv || cls == InstClass::FpSqrt;
+}
+
+/** True for memory operation classes. */
+constexpr bool
+isMem(InstClass cls)
+{
+    return cls == InstClass::Load || cls == InstClass::Store;
+}
+
+/** True for integer execution-cluster classes (excl. mem/branch). */
+constexpr bool
+isIntOp(InstClass cls)
+{
+    return cls == InstClass::IntAlu || cls == InstClass::IntMul ||
+           cls == InstClass::IntDiv;
+}
+
+/**
+ * Execution latency of each class in *domain cycles* of the cluster
+ * that executes it, loosely following SimpleScalar's defaults.
+ * Memory classes return the address-generation latency only; cache
+ * access time is added by the load/store unit.
+ */
+unsigned instLatency(InstClass cls);
+
+/** One dynamic instruction from a trace or generator. */
+struct TraceInst
+{
+    InstClass cls = InstClass::IntAlu;
+
+    /** Instruction address (for the I-cache and branch predictor). */
+    Addr pc = 0;
+
+    /**
+     * Register-dependence distances: this instruction reads the
+     * results of the instructions @p srcDist[i] positions earlier in
+     * the trace (0 = no dependence). Branches and stores use them as
+     * condition/data inputs.
+     */
+    std::uint16_t srcDist[2] = {0, 0};
+
+    /** Effective address for loads and stores. */
+    Addr addr = 0;
+
+    /** Branch fields (valid when cls == Branch). */
+    bool taken = false;
+    Addr target = 0;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_WORKLOAD_INST_HH

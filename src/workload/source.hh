@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Abstract instruction-trace source consumed by the front end.
+ */
+
+#ifndef MCDSIM_WORKLOAD_SOURCE_HH
+#define MCDSIM_WORKLOAD_SOURCE_HH
+
+#include <string>
+
+#include "workload/inst.hh"
+
+namespace mcd
+{
+
+/** Produces a deterministic stream of dynamic instructions. */
+class WorkloadSource
+{
+  public:
+    virtual ~WorkloadSource() = default;
+
+    /**
+     * Produce the next instruction into @p out.
+     * @return false when the trace is exhausted.
+     */
+    virtual bool next(TraceInst &out) = 0;
+
+    /** Restart from the beginning (same deterministic stream). */
+    virtual void reset() = 0;
+
+    /** Total instructions this source will produce, if known (else 0). */
+    virtual std::uint64_t totalInstructions() const { return 0; }
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_WORKLOAD_SOURCE_HH

@@ -1,0 +1,150 @@
+#include "workload/trace_file.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+namespace
+{
+
+constexpr char traceMagic[4] = {'M', 'C', 'D', 'T'};
+constexpr std::uint32_t traceVersion = 1;
+
+struct FileHeader
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint64_t count;
+    std::uint64_t reserved;
+};
+
+struct FileRecord
+{
+    std::uint64_t pc;
+    std::uint64_t addrOrTarget;
+    std::uint16_t src0;
+    std::uint16_t src1;
+    std::uint8_t cls;
+    std::uint8_t flags;
+    std::uint16_t pad;
+};
+
+static_assert(sizeof(FileHeader) == 24, "header layout");
+static_assert(sizeof(FileRecord) == 24, "record layout");
+
+FileRecord
+pack(const TraceInst &inst)
+{
+    FileRecord rec{};
+    rec.pc = inst.pc;
+    rec.addrOrTarget =
+        inst.cls == InstClass::Branch ? inst.target : inst.addr;
+    rec.src0 = inst.srcDist[0];
+    rec.src1 = inst.srcDist[1];
+    rec.cls = static_cast<std::uint8_t>(inst.cls);
+    rec.flags = inst.taken ? 1 : 0;
+    return rec;
+}
+
+TraceInst
+unpack(const FileRecord &rec)
+{
+    TraceInst inst{};
+    if (rec.cls >= numInstClasses)
+        fatal("trace record with invalid class %u", rec.cls);
+    inst.cls = static_cast<InstClass>(rec.cls);
+    inst.pc = rec.pc;
+    if (inst.cls == InstClass::Branch)
+        inst.target = rec.addrOrTarget;
+    else if (isMem(inst.cls))
+        inst.addr = rec.addrOrTarget;
+    inst.srcDist[0] = rec.src0;
+    inst.srcDist[1] = rec.src1;
+    inst.taken = (rec.flags & 1) != 0;
+    return inst;
+}
+
+} // namespace
+
+std::uint64_t
+writeTraceFile(const std::string &path, WorkloadSource &source)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+
+    FileHeader header{};
+    std::memcpy(header.magic, traceMagic, 4);
+    header.version = traceVersion;
+    header.count = 0; // patched after the body
+    if (std::fwrite(&header, sizeof(header), 1, file) != 1)
+        fatal("short write on '%s'", path.c_str());
+
+    TraceInst inst;
+    std::uint64_t count = 0;
+    while (source.next(inst)) {
+        const FileRecord rec = pack(inst);
+        if (std::fwrite(&rec, sizeof(rec), 1, file) != 1)
+            fatal("short write on '%s'", path.c_str());
+        ++count;
+    }
+
+    header.count = count;
+    if (std::fseek(file, 0, SEEK_SET) != 0 ||
+        std::fwrite(&header, sizeof(header), 1, file) != 1) {
+        fatal("cannot patch header of '%s'", path.c_str());
+    }
+    std::fclose(file);
+    return count;
+}
+
+TraceFileSource::TraceFileSource(const std::string &path)
+    : fileName(path)
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    FileHeader header{};
+    if (std::fread(&header, sizeof(header), 1, file) != 1)
+        fatal("'%s': truncated trace header", path.c_str());
+    if (std::memcmp(header.magic, traceMagic, 4) != 0)
+        fatal("'%s' is not an mcdsim trace file", path.c_str());
+    if (header.version != traceVersion)
+        fatal("'%s': unsupported trace version %u", path.c_str(),
+              header.version);
+    count = header.count;
+    dataOffset = std::ftell(file);
+}
+
+TraceFileSource::~TraceFileSource()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+TraceFileSource::next(TraceInst &out)
+{
+    if (delivered >= count)
+        return false;
+    FileRecord rec{};
+    if (std::fread(&rec, sizeof(rec), 1, file) != 1)
+        fatal("'%s': truncated trace body", fileName.c_str());
+    out = unpack(rec);
+    ++delivered;
+    return true;
+}
+
+void
+TraceFileSource::reset()
+{
+    delivered = 0;
+    if (std::fseek(file, dataOffset, SEEK_SET) != 0)
+        fatal("'%s': seek failed", fileName.c_str());
+}
+
+} // namespace mcd

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Binary trace file format.
+ *
+ * Lets users persist generated traces or bring their own (e.g.
+ * converted from a real instrumentation run) instead of using the
+ * synthetic profiles. The format is a fixed little-endian header
+ * followed by packed 24-byte records:
+ *
+ *   header:  magic "MCDT" | u32 version | u64 count | u64 reserved
+ *   record:  u64 pc | u64 addr_or_target | u16 src0 | u16 src1 |
+ *            u8 class | u8 flags (bit0 = taken) | u16 pad
+ *
+ * For branches the second u64 carries the taken target; for memory
+ * operations the effective address; otherwise zero.
+ */
+
+#ifndef MCDSIM_WORKLOAD_TRACE_FILE_HH
+#define MCDSIM_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "workload/source.hh"
+
+namespace mcd
+{
+
+/** Write every instruction of @p source to @p path; returns count. */
+std::uint64_t writeTraceFile(const std::string &path,
+                             WorkloadSource &source);
+
+/** Streaming reader for a trace file produced by writeTraceFile(). */
+class TraceFileSource : public WorkloadSource
+{
+  public:
+    explicit TraceFileSource(const std::string &path);
+    ~TraceFileSource() override;
+
+    TraceFileSource(const TraceFileSource &) = delete;
+    TraceFileSource &operator=(const TraceFileSource &) = delete;
+
+    bool next(TraceInst &out) override;
+    void reset() override;
+    std::uint64_t totalInstructions() const override { return count; }
+    std::string name() const override { return fileName; }
+
+  private:
+    std::string fileName;
+    std::FILE *file = nullptr;
+    std::uint64_t count = 0;
+    std::uint64_t delivered = 0;
+    long dataOffset = 0;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_WORKLOAD_TRACE_FILE_HH

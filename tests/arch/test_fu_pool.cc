@@ -1,0 +1,80 @@
+/** @file Tests for the functional-unit pools. */
+
+#include <gtest/gtest.h>
+
+#include "arch/fu_pool.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(FuPool, AvailabilityTracksAcquisitions)
+{
+    FuPool pool("alu", 2);
+    EXPECT_TRUE(pool.available(0));
+    pool.acquire(0, 10);
+    EXPECT_TRUE(pool.available(0)); // second unit free
+    pool.acquire(0, 10);
+    EXPECT_FALSE(pool.available(0));
+    EXPECT_TRUE(pool.available(10)); // both free again at t=10
+}
+
+TEST(FuPool, UseCountAccumulates)
+{
+    FuPool pool("alu", 4);
+    for (int i = 0; i < 7; ++i)
+        pool.acquire(Tick(i) * 100, Tick(i) * 100 + 1);
+    EXPECT_EQ(pool.useCount(), 7u);
+}
+
+TEST(FuPoolDeath, AcquireWithoutFreeUnitPanics)
+{
+    FuPool pool("alu", 1);
+    pool.acquire(0, 100);
+    EXPECT_DEATH(pool.acquire(50, 200), "no free unit");
+}
+
+TEST(ClusterFus, RoutingByClass)
+{
+    ClusterFus fus("int", 4, 1);
+    EXPECT_EQ(&fus.poolFor(InstClass::IntAlu), &fus.alu);
+    EXPECT_EQ(&fus.poolFor(InstClass::Branch), &fus.alu);
+    EXPECT_EQ(&fus.poolFor(InstClass::IntMul), &fus.muldiv);
+    EXPECT_EQ(&fus.poolFor(InstClass::IntDiv), &fus.muldiv);
+    EXPECT_EQ(&fus.poolFor(InstClass::FpMul), &fus.muldiv);
+    EXPECT_EQ(&fus.poolFor(InstClass::FpAdd), &fus.alu);
+}
+
+TEST(ClusterFus, BlockingClasses)
+{
+    EXPECT_TRUE(ClusterFus::blocking(InstClass::IntDiv));
+    EXPECT_TRUE(ClusterFus::blocking(InstClass::FpDiv));
+    EXPECT_TRUE(ClusterFus::blocking(InstClass::FpSqrt));
+    EXPECT_FALSE(ClusterFus::blocking(InstClass::IntMul));
+    EXPECT_FALSE(ClusterFus::blocking(InstClass::IntAlu));
+}
+
+TEST(ClusterFus, Table1Shapes)
+{
+    ClusterFus int_fus("int", 4, 1);
+    ClusterFus fp_fus("fp", 2, 1);
+    EXPECT_EQ(int_fus.alu.size(), 4u);
+    EXPECT_EQ(int_fus.muldiv.size(), 1u);
+    EXPECT_EQ(fp_fus.alu.size(), 2u);
+}
+
+TEST(InstLatency, RelativeOrdering)
+{
+    EXPECT_LT(instLatency(InstClass::IntAlu),
+              instLatency(InstClass::IntMul));
+    EXPECT_LT(instLatency(InstClass::IntMul),
+              instLatency(InstClass::IntDiv));
+    EXPECT_LT(instLatency(InstClass::FpAdd),
+              instLatency(InstClass::FpDiv));
+    EXPECT_LT(instLatency(InstClass::FpDiv),
+              instLatency(InstClass::FpSqrt));
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,143 @@
+/** @file Tests for the combined issue/interface queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/issue_queue.hh"
+
+namespace mcd
+{
+namespace
+{
+
+DynInst
+makeInst(InstSeqNum seq, Tick visible)
+{
+    DynInst inst;
+    inst.seq = seq;
+    inst.queueVisibleTime = visible;
+    return inst;
+}
+
+TEST(IssueQueue, OccupancyAndCapacity)
+{
+    IssueQueue q("q", 3);
+    DynInst a = makeInst(1, 0), b = makeInst(2, 0);
+    EXPECT_TRUE(q.empty());
+    q.insert(&a);
+    q.insert(&b);
+    EXPECT_EQ(q.occupancy(), 2u);
+    EXPECT_FALSE(q.full());
+    DynInst c = makeInst(3, 0);
+    q.insert(&c);
+    EXPECT_TRUE(q.full());
+}
+
+TEST(IssueQueue, VisibilityGatesScan)
+{
+    IssueQueue q("q", 4);
+    DynInst a = makeInst(1, 100), b = makeInst(2, 50);
+    q.insert(&a);
+    q.insert(&b);
+
+    std::vector<InstSeqNum> seen;
+    q.forEachVisible(60, [&](DynInst *inst) {
+        seen.push_back(inst->seq);
+        return true;
+    });
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], 2u); // only b is visible at t=60
+
+    seen.clear();
+    q.forEachVisible(100, [&](DynInst *inst) {
+        seen.push_back(inst->seq);
+        return true;
+    });
+    EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(IssueQueue, ScanIsOldestFirst)
+{
+    IssueQueue q("q", 4);
+    DynInst a = makeInst(10, 0), b = makeInst(20, 0), c = makeInst(30, 0);
+    q.insert(&a);
+    q.insert(&b);
+    q.insert(&c);
+    std::vector<InstSeqNum> seen;
+    q.forEachVisible(0, [&](DynInst *inst) {
+        seen.push_back(inst->seq);
+        return true;
+    });
+    EXPECT_EQ(seen, (std::vector<InstSeqNum>{10, 20, 30}));
+}
+
+TEST(IssueQueue, ScanStopsWhenCallbackReturnsFalse)
+{
+    IssueQueue q("q", 4);
+    DynInst a = makeInst(1, 0), b = makeInst(2, 0);
+    q.insert(&a);
+    q.insert(&b);
+    int visits = 0;
+    q.forEachVisible(0, [&](DynInst *) {
+        ++visits;
+        return false;
+    });
+    EXPECT_EQ(visits, 1);
+}
+
+TEST(IssueQueue, EraseRemovesSpecificEntry)
+{
+    IssueQueue q("q", 4);
+    DynInst a = makeInst(1, 0), b = makeInst(2, 0), c = makeInst(3, 0);
+    q.insert(&a);
+    q.insert(&b);
+    q.insert(&c);
+    q.erase(&b);
+    std::vector<InstSeqNum> seen;
+    q.forEachVisible(0, [&](DynInst *inst) {
+        seen.push_back(inst->seq);
+        return true;
+    });
+    EXPECT_EQ(seen, (std::vector<InstSeqNum>{1, 3}));
+}
+
+TEST(IssueQueue, MaxOccupancyHighWaterMark)
+{
+    IssueQueue q("q", 8);
+    DynInst insts[5];
+    for (int i = 0; i < 5; ++i) {
+        insts[i] = makeInst(i + 1, 0);
+        q.insert(&insts[i]);
+    }
+    q.erase(&insts[0]);
+    q.erase(&insts[1]);
+    EXPECT_EQ(q.maxOccupancy(), 5u);
+}
+
+TEST(IssueQueue, ClearEmpties)
+{
+    IssueQueue q("q", 4);
+    DynInst a = makeInst(1, 0);
+    q.insert(&a);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(IssueQueueDeath, OverflowPanics)
+{
+    IssueQueue q("q", 1);
+    DynInst a = makeInst(1, 0), b = makeInst(2, 0);
+    q.insert(&a);
+    EXPECT_DEATH(q.insert(&b), "overflow");
+}
+
+TEST(IssueQueueDeath, EraseAbsentPanics)
+{
+    IssueQueue q("q", 2);
+    DynInst a = makeInst(1, 0);
+    EXPECT_DEATH(q.erase(&a), "absent");
+}
+
+} // namespace
+} // namespace mcd

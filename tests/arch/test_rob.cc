@@ -1,0 +1,90 @@
+/** @file Tests for the reorder buffer. */
+
+#include <gtest/gtest.h>
+
+#include "arch/rob.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(Rob, AllocateAndRetireFifoOrder)
+{
+    Rob rob(4);
+    DynInst *a = rob.allocate();
+    a->seq = 1;
+    DynInst *b = rob.allocate();
+    b->seq = 2;
+    EXPECT_EQ(rob.head()->seq, 1u);
+    rob.retireHead();
+    EXPECT_EQ(rob.head()->seq, 2u);
+}
+
+TEST(Rob, FullAndEmpty)
+{
+    Rob rob(2);
+    EXPECT_TRUE(rob.empty());
+    rob.allocate();
+    rob.allocate();
+    EXPECT_TRUE(rob.full());
+    rob.retireHead();
+    EXPECT_FALSE(rob.full());
+    rob.retireHead();
+    EXPECT_TRUE(rob.empty());
+}
+
+TEST(Rob, WrapsAroundCircularly)
+{
+    Rob rob(3);
+    for (std::uint64_t i = 1; i <= 100; ++i) {
+        DynInst *inst = rob.allocate();
+        inst->seq = i;
+        EXPECT_EQ(rob.head()->seq, i);
+        rob.retireHead();
+    }
+    EXPECT_EQ(rob.retiredCount(), 100u);
+}
+
+TEST(Rob, AllocationResetsSlotState)
+{
+    Rob rob(2);
+    DynInst *a = rob.allocate();
+    a->issued = true;
+    a->completeTime = 123;
+    rob.retireHead();
+    rob.allocate(); // reuses some slot eventually
+    DynInst *c = rob.allocate();
+    EXPECT_FALSE(c->issued);
+    EXPECT_EQ(c->completeTime, maxTick);
+}
+
+TEST(Rob, OccupancyTracksOperations)
+{
+    Rob rob(8);
+    EXPECT_EQ(rob.occupancy(), 0u);
+    rob.allocate();
+    rob.allocate();
+    rob.allocate();
+    EXPECT_EQ(rob.occupancy(), 3u);
+    rob.retireHead();
+    EXPECT_EQ(rob.occupancy(), 2u);
+    EXPECT_EQ(rob.capacity(), 8u);
+}
+
+TEST(RobDeath, OverflowPanics)
+{
+    Rob rob(1);
+    rob.allocate();
+    EXPECT_DEATH(rob.allocate(), "overflow");
+}
+
+TEST(RobDeath, EmptyHeadPanics)
+{
+    Rob rob(1);
+    EXPECT_DEATH(rob.head(), "empty");
+    EXPECT_DEATH(rob.retireHead(), "empty");
+}
+
+} // namespace
+} // namespace mcd

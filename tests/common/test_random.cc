@@ -1,0 +1,166 @@
+/** @file Tests for the deterministic Xoshiro256** generator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(Random, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, UniformMeanAndVariance)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        sum += u;
+        sq += u * u;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.005);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Random, BelowStaysBelow)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Random, BelowCoversAllValues)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Random, GaussianScaled)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Random, GeometricMean)
+{
+    Rng rng(19);
+    // Mean of geometric (failures before success) with p is (1-p)/p.
+    const double p = 0.25;
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.1);
+}
+
+TEST(Random, GeometricDegenerateP)
+{
+    Rng rng(21);
+    EXPECT_EQ(rng.geometric(1.0), 0u);
+    EXPECT_EQ(rng.geometric(1.5), 0u);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_FALSE(rng.chance(0.0));
+        ASSERT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Random, ForkIndependentOfParentConsumption)
+{
+    // fork(key) must not disturb the parent stream.
+    Rng a(99);
+    Rng b(99);
+    (void)a.fork(1);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Random, ForkKeysDiffer)
+{
+    Rng parent(7);
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (c1.next() == c2.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+} // namespace
+} // namespace mcd

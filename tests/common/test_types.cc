@@ -1,0 +1,59 @@
+/** @file Tests for tick/frequency unit helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(Types, TickConstruction)
+{
+    EXPECT_EQ(ticksFromFs(7), 7u);
+    EXPECT_EQ(ticksFromPs(1), 1000u);
+    EXPECT_EQ(ticksFromNs(1), 1000000u);
+    EXPECT_EQ(ticksFromUs(1), 1000000000u);
+    EXPECT_EQ(ticksFromMs(1), 1000000000000u);
+}
+
+TEST(Types, SecondsRoundTrip)
+{
+    const Tick t = ticksFromNs(1234);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(t), 1234e-9);
+    EXPECT_EQ(ticksFromSeconds(1234e-9), t);
+}
+
+TEST(Types, PeriodOfOneGigahertz)
+{
+    EXPECT_EQ(periodFromFrequency(gigaHertz(1.0)), 1000000u);
+}
+
+TEST(Types, PeriodOf250Megahertz)
+{
+    EXPECT_EQ(periodFromFrequency(megaHertz(250)), 4000000u);
+}
+
+TEST(Types, FrequencyPeriodRoundTrip)
+{
+    for (double mhz : {250.0, 333.0, 500.0, 770.5, 1000.0}) {
+        const Hertz f = megaHertz(mhz);
+        const Tick p = periodFromFrequency(f);
+        EXPECT_NEAR(frequencyFromPeriod(p), f, f * 1e-6);
+    }
+}
+
+TEST(Types, FrequencyHelpers)
+{
+    EXPECT_DOUBLE_EQ(megaHertz(250), 250e6);
+    EXPECT_DOUBLE_EQ(gigaHertz(1.0), 1e9);
+}
+
+TEST(Types, MaxTickIsLargest)
+{
+    EXPECT_GT(maxTick, ticksFromMs(1000000));
+}
+
+} // namespace
+} // namespace mcd

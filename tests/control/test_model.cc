@@ -1,0 +1,260 @@
+/** @file Tests for the Section 4 control model and stability analysis. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/controller_model.hh"
+#include "control/signals.hh"
+
+namespace mcd
+{
+namespace
+{
+
+ModelParams
+typicalParams()
+{
+    ModelParams p;
+    // step = 1 absorbs the paper's unit-conversion constants m, l so
+    // that the canonical Tm0 = 50 / Tl0 = 8 configuration sits in the
+    // "typical system setting" regime of Section 4.3 (Kl ~ 1/8).
+    p.step = 1.0;
+    p.tm0 = 50.0;
+    p.tl0 = 8.0;
+    p.gamma = 1.0;
+    p.k = 1.0;
+    p.qref = 6.0;
+    return p;
+}
+
+TEST(ControlModel, GainFormulas)
+{
+    ModelParams p = typicalParams();
+    EXPECT_DOUBLE_EQ(p.km(), p.m * p.gamma * p.k * p.step / p.tm0);
+    EXPECT_DOUBLE_EQ(p.kl(), p.l * p.gamma * p.k * p.step / p.tl0);
+}
+
+TEST(ControlModel, ServiceRateModel)
+{
+    ModelParams p = typicalParams();
+    p.t1 = 0.2;
+    p.c2 = 0.8;
+    // mu(1) = 1/(t1 + c2) = 1.
+    EXPECT_DOUBLE_EQ(p.serviceRate(1.0), 1.0);
+    // Slope matches the closed form c2/(t1 f + c2)^2.
+    EXPECT_NEAR(p.serviceRateSlope(1.0), 0.8, 1e-12);
+    // Finite-difference check.
+    const double h = 1e-6;
+    const double fd = (p.serviceRate(0.5 + h) - p.serviceRate(0.5)) / h;
+    EXPECT_NEAR(p.serviceRateSlope(0.5), fd, 1e-5);
+}
+
+TEST(ControlModel, MuFGainMatchesSlopeAtOperatingPoint)
+{
+    ModelParams p = typicalParams();
+    for (double f0 : {0.3, 0.5, 0.8, 1.0}) {
+        const double k = p.muFGain(f0);
+        EXPECT_NEAR(k / (f0 * f0), p.serviceRateSlope(f0), 1e-12);
+    }
+}
+
+TEST(ControlModel, CharacteristicRootsSatisfyPolynomial)
+{
+    ModelParams p = typicalParams();
+    const auto a = analyze(p);
+    for (const auto &s : {a.root1, a.root2}) {
+        const auto residual = s * s + a.kl * s + a.km;
+        EXPECT_NEAR(std::abs(residual), 0.0, 1e-12);
+    }
+}
+
+/** Remark 1: stability for any positive parameter combination. */
+class Remark1Sweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{};
+
+TEST_P(Remark1Sweep, AlwaysStable)
+{
+    const auto [step, tm0, tl0] = GetParam();
+    ModelParams p = typicalParams();
+    p.step = step;
+    p.tm0 = tm0;
+    p.tl0 = tl0;
+    const auto a = analyze(p);
+    EXPECT_TRUE(a.stable())
+        << "unstable at step=" << step << " tm0=" << tm0 << " tl0=" << tl0;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, Remark1Sweep,
+    ::testing::Combine(::testing::Values(1.0 / 320, 1.0 / 32, 0.25, 1.0),
+                       ::testing::Values(1.0, 10.0, 50.0, 400.0),
+                       ::testing::Values(0.5, 8.0, 50.0, 200.0)));
+
+TEST(ControlModel, DampingRatioFormula)
+{
+    ModelParams p = typicalParams();
+    const auto a = analyze(p);
+    EXPECT_NEAR(a.dampingRatio(), a.kl / (2.0 * std::sqrt(a.km)), 1e-12);
+}
+
+TEST(ControlModel, OvershootZeroWhenOverdamped)
+{
+    ModelParams p = typicalParams();
+    p.tl0 = 2.0;  // Kl = 0.5
+    p.tm0 = 32.0; // Km = 1/32 -> xi = sqrt(2) overdamped
+    const auto a = analyze(p);
+    ASSERT_GE(a.dampingRatio(), 1.0);
+    EXPECT_DOUBLE_EQ(a.percentOvershoot(), 0.0);
+}
+
+TEST(ControlModel, OvershootFormulaUnderdamped)
+{
+    ModelParams p = typicalParams();
+    p.tl0 = 200.0; // small Kl -> underdamped
+    const auto a = analyze(p);
+    const double xi = a.dampingRatio();
+    ASSERT_LT(xi, 1.0);
+    EXPECT_NEAR(a.percentOvershoot(),
+                100.0 * std::exp(-M_PI * xi / std::sqrt(1 - xi * xi)),
+                1e-9);
+}
+
+TEST(ControlModel, Remark3DelayRatioBounds)
+{
+    // With Kl = 1/2 the paper derives T_m0/T_l0 in [2, 8] for
+    // damping in [0.5, 1].
+    ModelParams p = typicalParams();
+    // Choose tl0 so that Kl = 0.5.
+    p.tl0 = p.l * p.gamma * p.k * p.step / 0.5;
+    const auto bounds = delayRatioForDamping(p, 0.5, 1.0);
+    EXPECT_NEAR(bounds.lo, 2.0, 1e-9);
+    EXPECT_NEAR(bounds.hi, 8.0, 1e-9);
+}
+
+TEST(ControlModel, Remark3BoundsProduceRequestedDamping)
+{
+    ModelParams p = typicalParams();
+    const auto bounds = delayRatioForDamping(p, 0.5, 1.0);
+    // Setting tm0 at each bound should give the corresponding xi.
+    ModelParams lo = p;
+    lo.tm0 = bounds.lo * p.tl0;
+    EXPECT_NEAR(analyze(lo).dampingRatio(), 0.5, 1e-9);
+    ModelParams hi = p;
+    hi.tm0 = bounds.hi * p.tl0;
+    EXPECT_NEAR(analyze(hi).dampingRatio(), 1.0, 1e-9);
+}
+
+TEST(ControlModel, LinearStepResponseSettlesAtReference)
+{
+    ModelParams p = typicalParams();
+    p.tm0 = 32.0;
+    p.tl0 = 4.0; // xi = 1.4: well damped, settles quickly
+    // Workload steps up; mu must follow and q must return to qref.
+    const auto traj = simulateLinear(
+        p, signals::step(0.5, 0.8, 100.0), p.qref, 0.5, 2000.0, 0.1);
+    EXPECT_NEAR(traj.queue.back(), p.qref, 0.05);
+    EXPECT_NEAR(traj.serviceRate.back(), 0.8, 0.01);
+}
+
+TEST(ControlModel, LinearOvershootTracksDampingPrediction)
+{
+    // Underdamped configuration: simulated overshoot should be in the
+    // same regime as the analytic second-order prediction.
+    ModelParams p = typicalParams();
+    p.tm0 = 50.0;
+    p.tl0 = 200.0; // heavy underdamping
+    const auto a = analyze(p);
+    ASSERT_LT(a.dampingRatio(), 0.5);
+
+    const auto traj = simulateLinear(
+        p, signals::step(0.5, 0.9, 10.0), p.qref, 0.5, 6000.0, 0.1);
+    const auto m = measureStep(traj.time, traj.serviceRate, 0.9);
+    EXPECT_GT(m.percentOvershoot, 10.0);
+
+    ModelParams damped = p;
+    damped.tl0 = 2.0;  // Kl = 0.5
+    damped.tm0 = 32.0; // xi = 1.4: overdamped
+    ASSERT_GE(analyze(damped).dampingRatio(), 1.0);
+    const auto traj2 = simulateLinear(
+        damped, signals::step(0.5, 0.9, 10.0), p.qref, 0.5, 6000.0, 0.1);
+    const auto m2 = measureStep(traj2.time, traj2.serviceRate, 0.9);
+    EXPECT_LT(m2.percentOvershoot, m.percentOvershoot / 2.0);
+}
+
+TEST(ControlModel, SmallerDelaysSettleFaster)
+{
+    // Remark 2: smaller basic delays -> faster settling.
+    ModelParams slow = typicalParams();
+    slow.tm0 = 200.0;
+    slow.tl0 = 40.0;
+    ModelParams fast = typicalParams();
+    fast.tm0 = 25.0;
+    fast.tl0 = 5.0;
+    EXPECT_LT(analyze(fast).settlingTime(), analyze(slow).settlingTime());
+    EXPECT_LT(analyze(fast).riseTime(), analyze(slow).riseTime());
+}
+
+TEST(ControlModel, NonlinearConvergesToReference)
+{
+    ModelParams p = typicalParams();
+    p.t1 = 0.2;
+    p.c2 = 0.8;
+    p.k = p.muFGain(0.7);
+    const auto traj = simulateNonlinear(
+        p, signals::constant(0.7), 2.0, 1.0, 80000.0, 0.5);
+    EXPECT_NEAR(traj.queue.back(), p.qref, 0.3);
+    // Service rate must match the arrival rate in steady state.
+    EXPECT_NEAR(traj.serviceRate.back(), 0.7, 0.02);
+}
+
+TEST(ControlModel, NonlinearRespectsFrequencyBounds)
+{
+    ModelParams p = typicalParams();
+    // Overwhelming load: frequency must pin at f_max, not exceed it.
+    const auto traj = simulateNonlinear(
+        p, signals::constant(10.0), 0.0, 0.5, 20000.0, 0.5, 20.0, 0.25,
+        1.0);
+    for (double f : traj.frequency) {
+        ASSERT_GE(f, 0.25);
+        ASSERT_LE(f, 1.0);
+    }
+    EXPECT_NEAR(traj.frequency.back(), 1.0, 1e-6);
+}
+
+TEST(ControlModel, NonlinearQueueSaturates)
+{
+    ModelParams p = typicalParams();
+    const auto traj = simulateNonlinear(
+        p, signals::constant(10.0), 0.0, 0.5, 20000.0, 0.5, 20.0);
+    for (double q : traj.queue) {
+        ASSERT_GE(q, 0.0);
+        ASSERT_LE(q, 20.0);
+    }
+}
+
+TEST(ControlModel, MeasureStepBasics)
+{
+    // Synthetic first-order-ish response.
+    std::vector<double> t, y;
+    for (int i = 0; i <= 1000; ++i) {
+        t.push_back(i * 0.01);
+        y.push_back(1.0 - std::exp(-i * 0.01));
+    }
+    const auto m = measureStep(t, y, 1.0);
+    EXPECT_NEAR(m.percentOvershoot, 0.0, 0.5);
+    // 10-90% rise of a first-order system is ~2.2 time constants.
+    EXPECT_NEAR(m.riseTime, 2.2, 0.1);
+    // 2% settling at ~4 time constants.
+    EXPECT_NEAR(m.settlingTime, 3.9, 0.2);
+}
+
+TEST(ControlModel, MeasureStepDegenerate)
+{
+    const auto m = measureStep({0.0}, {1.0}, 2.0);
+    EXPECT_DOUBLE_EQ(m.percentOvershoot, 0.0);
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,108 @@
+/** @file Tests for the discrete abstract queue plant (Figure 2). */
+
+#include <gtest/gtest.h>
+
+#include "control/abstract_plant.hh"
+
+namespace mcd
+{
+namespace
+{
+
+AbstractQueuePlant::Config
+defaultConfig()
+{
+    AbstractQueuePlant::Config c;
+    c.queueCapacity = 20.0;
+    c.t1 = 0.2;
+    c.c2 = 0.8;
+    c.gamma = 1.0;
+    return c;
+}
+
+TEST(AbstractPlant, BalancedRatesHoldQueueLevel)
+{
+    AbstractQueuePlant plant(defaultConfig());
+    // At f = 1, mu = 1; lambda = 1 keeps the queue flat.
+    for (int i = 0; i < 100; ++i)
+        plant.step(1.0, 1.0);
+    EXPECT_NEAR(plant.queue(), 0.0, 1e-12);
+}
+
+TEST(AbstractPlant, ExcessArrivalFillsQueue)
+{
+    AbstractQueuePlant plant(defaultConfig());
+    plant.step(1.5, 1.0); // inflow 1.5, outflow 1.0
+    EXPECT_NEAR(plant.queue(), 0.5, 1e-12);
+    plant.step(1.5, 1.0);
+    EXPECT_NEAR(plant.queue(), 1.0, 1e-12);
+}
+
+TEST(AbstractPlant, FasterClockDrainsQueue)
+{
+    auto cfg = defaultConfig();
+    cfg.initialQueue = 10.0;
+    AbstractQueuePlant plant(cfg);
+    const double before = plant.queue();
+    plant.step(1.0, 1.0); // mu = 1 at f=1: balanced
+    EXPECT_NEAR(plant.queue(), before, 1e-12);
+    // Raise frequency beyond balance: mu(1) < mu(f>1)... use f=2.
+    plant.step(1.0, 2.0);
+    EXPECT_LT(plant.queue(), before);
+}
+
+TEST(AbstractPlant, QueueNeverNegative)
+{
+    AbstractQueuePlant plant(defaultConfig());
+    for (int i = 0; i < 50; ++i)
+        plant.step(0.0, 1.0);
+    EXPECT_DOUBLE_EQ(plant.queue(), 0.0);
+}
+
+TEST(AbstractPlant, QueueSaturatesAtCapacity)
+{
+    AbstractQueuePlant plant(defaultConfig());
+    for (int i = 0; i < 200; ++i)
+        plant.step(5.0, 0.25);
+    EXPECT_DOUBLE_EQ(plant.queue(), 20.0);
+}
+
+TEST(AbstractPlant, ServiceRateMonotoneInFrequency)
+{
+    AbstractQueuePlant plant(defaultConfig());
+    double prev = 0.0;
+    for (double f = 0.25; f <= 1.0; f += 0.05) {
+        const double mu = plant.serviceRate(f);
+        EXPECT_GT(mu, prev);
+        prev = mu;
+    }
+}
+
+TEST(AbstractPlant, ServiceRateHasFrequencyIndependentFloor)
+{
+    // Even at infinite frequency, mu <= 1/t1 (the asynchronous part).
+    AbstractQueuePlant plant(defaultConfig());
+    EXPECT_LT(plant.serviceRate(1000.0), 1.0 / 0.2 + 1e-9);
+}
+
+TEST(AbstractPlant, ResetRestoresInitialState)
+{
+    auto cfg = defaultConfig();
+    cfg.initialQueue = 3.0;
+    AbstractQueuePlant plant(cfg);
+    plant.step(2.0, 0.5);
+    plant.reset();
+    EXPECT_DOUBLE_EQ(plant.queue(), 3.0);
+    EXPECT_EQ(plant.stepCount(), 0u);
+}
+
+TEST(AbstractPlant, StepCountAccumulates)
+{
+    AbstractQueuePlant plant(defaultConfig());
+    for (int i = 0; i < 7; ++i)
+        plant.step(1.0, 1.0);
+    EXPECT_EQ(plant.stepCount(), 7u);
+}
+
+} // namespace
+} // namespace mcd

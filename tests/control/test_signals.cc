@@ -1,0 +1,102 @@
+/** @file Tests for the canonical workload signal generators. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/signals.hh"
+
+namespace mcd
+{
+namespace
+{
+
+using namespace signals;
+
+TEST(Signals, Constant)
+{
+    const auto s = constant(3.5);
+    EXPECT_DOUBLE_EQ(s(0.0), 3.5);
+    EXPECT_DOUBLE_EQ(s(1e9), 3.5);
+}
+
+TEST(Signals, Step)
+{
+    const auto s = step(1.0, 2.0, 100.0);
+    EXPECT_DOUBLE_EQ(s(99.999), 1.0);
+    EXPECT_DOUBLE_EQ(s(100.0), 2.0);
+    EXPECT_DOUBLE_EQ(s(1e6), 2.0);
+}
+
+TEST(Signals, RampEndpointsAndMidpoint)
+{
+    const auto s = ramp(0.0, 10.0, 100.0, 200.0);
+    EXPECT_DOUBLE_EQ(s(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s(100.0), 0.0);
+    EXPECT_DOUBLE_EQ(s(150.0), 5.0);
+    EXPECT_DOUBLE_EQ(s(200.0), 10.0);
+    EXPECT_DOUBLE_EQ(s(500.0), 10.0);
+}
+
+TEST(Signals, SinePeriodAndAmplitude)
+{
+    const auto s = sine(5.0, 2.0, 100.0);
+    EXPECT_NEAR(s(0.0), 5.0, 1e-12);
+    EXPECT_NEAR(s(25.0), 7.0, 1e-12);  // quarter period: +amp
+    EXPECT_NEAR(s(75.0), 3.0, 1e-12);  // three quarters: -amp
+    EXPECT_NEAR(s(100.0), 5.0, 1e-9);  // full period
+}
+
+TEST(Signals, SquareDutyCycle)
+{
+    const auto s = square(1.0, 3.0, 10.0);
+    EXPECT_DOUBLE_EQ(s(0.0), 3.0);  // first half high
+    EXPECT_DOUBLE_EQ(s(4.9), 3.0);
+    EXPECT_DOUBLE_EQ(s(5.0), 1.0);  // second half low
+    EXPECT_DOUBLE_EQ(s(12.0), 3.0); // periodic
+}
+
+TEST(Signals, BurstDuty)
+{
+    const auto s = burst(0.0, 4.0, 100.0, 0.25);
+    EXPECT_DOUBLE_EQ(s(10.0), 4.0);
+    EXPECT_DOUBLE_EQ(s(24.9), 4.0);
+    EXPECT_DOUBLE_EQ(s(25.0), 0.0);
+    EXPECT_DOUBLE_EQ(s(99.0), 0.0);
+    EXPECT_DOUBLE_EQ(s(101.0), 4.0);
+}
+
+TEST(Signals, NoiseIsBoundedAndDeterministic)
+{
+    const auto s = withNoise(constant(10.0), 0.5, 42);
+    for (double t = 0.0; t < 100.0; t += 0.37) {
+        const double v = s(t);
+        ASSERT_GE(v, 9.5);
+        ASSERT_LE(v, 10.5);
+        // Same t, same value (needed inside RK4 stage evaluation).
+        ASSERT_DOUBLE_EQ(s(t), v);
+    }
+}
+
+TEST(Signals, NoiseVariesAcrossTime)
+{
+    const auto s = withNoise(constant(0.0), 1.0, 7);
+    double first = s(0.0);
+    bool varied = false;
+    for (double t = 1.0; t < 50.0 && !varied; t += 1.0)
+        varied = std::abs(s(t) - first) > 1e-6;
+    EXPECT_TRUE(varied);
+}
+
+TEST(Signals, NoiseSeedChangesSequence)
+{
+    const auto a = withNoise(constant(0.0), 1.0, 1);
+    const auto b = withNoise(constant(0.0), 1.0, 2);
+    int same = 0;
+    for (double t = 1.0; t < 100.0; t += 1.0)
+        same += std::abs(a(t) - b(t)) < 1e-12;
+    EXPECT_LT(same, 5);
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,254 @@
+/** @file Tests for the complete MCD processor model. */
+
+#include <gtest/gtest.h>
+
+#include "core/mcd_processor.hh"
+#include "workload/benchmarks.hh"
+#include "workload/phase_generator.hh"
+
+namespace mcd
+{
+namespace
+{
+
+constexpr std::uint64_t smallRun = 50000;
+
+SimConfig
+baseConfig(ControllerKind kind = ControllerKind::Fixed)
+{
+    SimConfig cfg;
+    cfg.controller = kind;
+    return cfg;
+}
+
+std::unique_ptr<PhaseTraceGenerator>
+simpleSource(std::uint64_t n = smallRun)
+{
+    PhaseSpec p;
+    p.fracFp = 0.2;
+    p.fracLoad = 0.2;
+    p.fracStore = 0.08;
+    p.fracBranch = 0.1;
+    p.meanDepDist = 8.0;
+    p.workingSetKb = 16;
+    return std::make_unique<PhaseTraceGenerator>(
+        "unit", std::vector<PhaseSpec>{p}, n, 5);
+}
+
+TEST(Processor, RetiresWholeTrace)
+{
+    auto src = simpleSource();
+    McdProcessor proc(baseConfig(), *src);
+    const SimResult r = proc.run();
+    EXPECT_EQ(r.instructions, smallRun);
+    EXPECT_GT(r.wallTicks, 0u);
+}
+
+TEST(Processor, MaxInstructionsStopsEarly)
+{
+    auto src = simpleSource();
+    McdProcessor proc(baseConfig(), *src);
+    const SimResult r = proc.run(10000);
+    EXPECT_GE(r.instructions, 10000u);
+    EXPECT_LT(r.instructions, 10000u + 100u);
+}
+
+TEST(Processor, IpcInPlausibleRange)
+{
+    auto src = simpleSource();
+    McdProcessor proc(baseConfig(), *src);
+    const SimResult r = proc.run();
+    const double ipc = static_cast<double>(r.instructions) /
+                       static_cast<double>(r.feCycles);
+    EXPECT_GT(ipc, 0.1);
+    EXPECT_LE(ipc, 4.0); // cannot beat the fetch width
+}
+
+TEST(Processor, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        auto src = simpleSource();
+        McdProcessor proc(baseConfig(ControllerKind::Adaptive), *src);
+        return proc.run();
+    };
+    const SimResult a = run_once();
+    const SimResult b = run_once();
+    EXPECT_EQ(a.wallTicks, b.wallTicks);
+    EXPECT_DOUBLE_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.domains[0].transitions, b.domains[0].transitions);
+    EXPECT_EQ(a.syncPenalties, b.syncPenalties);
+}
+
+TEST(Processor, EnergyPositiveAndDecomposes)
+{
+    auto src = simpleSource();
+    McdProcessor proc(baseConfig(), *src);
+    const SimResult r = proc.run();
+    EXPECT_GT(r.energy, 0.0);
+    double sum = 0.0;
+    for (std::size_t d = 0; d < numDomains; ++d) {
+        for (std::size_t c = 0; c < numEnergyCategories; ++c)
+            sum += r.energyBreakdown[d][c];
+    }
+    EXPECT_NEAR(sum, r.energy, r.energy * 1e-9);
+}
+
+TEST(Processor, SynchronousBaselineHasNoSyncPenalties)
+{
+    SimConfig cfg = baseConfig();
+    cfg.mcdEnabled = false;
+    cfg.jitterEnabled = false;
+    auto src = simpleSource();
+    McdProcessor proc(cfg, *src);
+    const SimResult r = proc.run();
+    EXPECT_EQ(r.syncPenalties, 0u);
+}
+
+TEST(Processor, McdModeHasBoundedOverheadVsSync)
+{
+    auto src1 = simpleSource();
+    SimConfig sync_cfg = baseConfig();
+    sync_cfg.mcdEnabled = false;
+    sync_cfg.jitterEnabled = false;
+    McdProcessor sync_proc(sync_cfg, *src1);
+    const SimResult sync_r = sync_proc.run();
+
+    auto src2 = simpleSource();
+    McdProcessor mcd_proc(baseConfig(), *src2);
+    const SimResult mcd_r = mcd_proc.run();
+
+    // MCD is slower, but within a sane bound.
+    EXPECT_GE(mcd_r.wallTicks, sync_r.wallTicks);
+    EXPECT_LT(static_cast<double>(mcd_r.wallTicks),
+              1.35 * static_cast<double>(sync_r.wallTicks));
+}
+
+TEST(Processor, AdaptiveControllerActuallyScales)
+{
+    // A mostly-integer workload leaves the FP domain idle: the
+    // adaptive controller must pull its frequency down.
+    PhaseSpec p;
+    p.fracFp = 0.0;
+    p.meanDepDist = 8.0;
+    // Long enough for the 73.3 ns/MHz regulator to complete the
+    // descent (full range takes ~55 us ~ 70k instructions here).
+    auto src = std::make_unique<PhaseTraceGenerator>(
+        "intonly", std::vector<PhaseSpec>{p}, 150000, 5);
+    McdProcessor proc(baseConfig(ControllerKind::Adaptive), *src);
+    const SimResult r = proc.run();
+    EXPECT_LT(r.domains[1].avgFrequency, 0.65e9); // FP scaled down
+    EXPECT_GT(r.domains[1].transitions, 0u);
+}
+
+TEST(Processor, FixedControllerNeverTransitions)
+{
+    auto src = simpleSource();
+    McdProcessor proc(baseConfig(ControllerKind::Fixed), *src);
+    const SimResult r = proc.run();
+    for (const auto &d : r.domains)
+        EXPECT_EQ(d.transitions, 0u);
+}
+
+TEST(Processor, DisabledDomainStaysAtFmax)
+{
+    SimConfig cfg = baseConfig(ControllerKind::Adaptive);
+    cfg.controlDomain = {true, false, true};
+    auto src = simpleSource();
+    McdProcessor proc(cfg, *src);
+    const SimResult r = proc.run();
+    EXPECT_EQ(r.domains[1].transitions, 0u);
+    EXPECT_NEAR(r.domains[1].avgFrequency, 1e9, 1e6);
+}
+
+TEST(Processor, TracesRecordedOnDemand)
+{
+    SimConfig cfg = baseConfig(ControllerKind::Adaptive);
+    cfg.recordTraces = true;
+    cfg.traceStride = 1;
+    auto src = simpleSource();
+    McdProcessor proc(cfg, *src);
+    const SimResult r = proc.run();
+    EXPECT_FALSE(r.intFreqTrace.empty());
+    EXPECT_FALSE(r.fpQueueTrace.empty());
+    // Frequency trace values are in GHz within the legal range.
+    for (std::size_t i = 0; i < r.intFreqTrace.size(); ++i) {
+        ASSERT_GE(r.intFreqTrace.valueAt(i), 0.25 - 1e-9);
+        ASSERT_LE(r.intFreqTrace.valueAt(i), 1.0 + 1e-9);
+    }
+}
+
+TEST(Processor, BranchAccuracyReported)
+{
+    auto src = simpleSource();
+    McdProcessor proc(baseConfig(), *src);
+    const SimResult r = proc.run();
+    EXPECT_GT(r.branchDirectionAccuracy, 0.7);
+    EXPECT_LE(r.branchDirectionAccuracy, 1.0);
+}
+
+TEST(Processor, TransmetaModelRunsAndIsSlower)
+{
+    SimConfig x = baseConfig(ControllerKind::Adaptive);
+    auto src1 = simpleSource();
+    McdProcessor px(x, *src1);
+    const SimResult rx = px.run();
+
+    SimConfig t = baseConfig(ControllerKind::Adaptive);
+    t.dvfsModel = DvfsModel::transmeta();
+    // Coarser steps suit the slow model (Section 3 guidance).
+    t.adaptive.stepsPerAction = 16;
+    auto src2 = simpleSource();
+    McdProcessor pt(t, *src2);
+    const SimResult rt = pt.run();
+
+    EXPECT_EQ(rx.instructions, rt.instructions);
+    // The stall-per-transition model cannot be faster.
+    EXPECT_GE(rt.wallTicks, rx.wallTicks / 2);
+}
+
+TEST(Processor, CustomControllerFactoryUsed)
+{
+    // A trivial custom controller that pins everything to f_min.
+    class FloorController : public DvfsController
+    {
+      public:
+        explicit FloorController(const VfCurve &curve) : vf(curve) {}
+        DvfsDecision
+        sample(double, Hertz current, bool) override
+        {
+            ++_stats.samples;
+            if (current > vf.fMin())
+                return {true, vf.fMin()};
+            return {};
+        }
+        void reset() override { _stats = ControllerStats{}; }
+        std::string name() const override { return "floor"; }
+
+      private:
+        const VfCurve &vf;
+    };
+
+    SimConfig cfg = baseConfig(ControllerKind::Custom);
+    cfg.customController = [](std::size_t, const VfCurve &vf) {
+        return std::make_unique<FloorController>(vf);
+    };
+    auto src = simpleSource();
+    McdProcessor proc(cfg, *src);
+    const SimResult r = proc.run();
+    // All domains ramp toward f_min.
+    EXPECT_LT(r.domains[0].avgFrequency, 0.8e9);
+    EXPECT_LT(r.domains[1].avgFrequency, 0.8e9);
+    EXPECT_LT(r.domains[2].avgFrequency, 0.8e9);
+}
+
+TEST(ProcessorDeath, DvfsRequiresMcd)
+{
+    SimConfig cfg = baseConfig(ControllerKind::Adaptive);
+    cfg.mcdEnabled = false;
+    auto src = simpleSource();
+    EXPECT_EXIT(McdProcessor(cfg, *src), ::testing::ExitedWithCode(1),
+                "requires the MCD");
+}
+
+} // namespace
+} // namespace mcd

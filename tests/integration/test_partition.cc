@@ -1,0 +1,135 @@
+/** @file Tests for the 5-domain (split front end) partition. */
+
+#include <gtest/gtest.h>
+
+#include "core/mcd_processor.hh"
+#include "workload/benchmarks.hh"
+
+namespace mcd
+{
+namespace
+{
+
+SimConfig
+fiveDomainConfig(ControllerKind kind = ControllerKind::Fixed)
+{
+    SimConfig cfg;
+    cfg.controller = kind;
+    cfg.fiveDomainPartition = true;
+    return cfg;
+}
+
+TEST(Partition, FiveDomainRetiresWholeTrace)
+{
+    auto src = makeBenchmark("gzip", 50000, 1);
+    McdProcessor proc(fiveDomainConfig(), *src);
+    const SimResult r = proc.run();
+    EXPECT_EQ(r.instructions, 50000u);
+}
+
+TEST(Partition, FiveDomainIsDeterministic)
+{
+    auto run_once = [] {
+        auto src = makeBenchmark("mpeg2_dec", 30000, 2);
+        McdProcessor proc(fiveDomainConfig(ControllerKind::Adaptive),
+                          *src);
+        return proc.run();
+    };
+    const SimResult a = run_once();
+    const SimResult b = run_once();
+    EXPECT_EQ(a.wallTicks, b.wallTicks);
+    EXPECT_DOUBLE_EQ(a.energy, b.energy);
+}
+
+TEST(Partition, ExtraCrossingCostsALittle)
+{
+    auto src4 = makeBenchmark("gzip", 50000, 1);
+    SimConfig cfg4;
+    cfg4.controller = ControllerKind::Fixed;
+    McdProcessor p4(cfg4, *src4);
+    const SimResult r4 = p4.run();
+
+    auto src5 = makeBenchmark("gzip", 50000, 1);
+    McdProcessor p5(fiveDomainConfig(), *src5);
+    const SimResult r5 = p5.run();
+
+    EXPECT_GE(r5.wallTicks, r4.wallTicks);
+    // One extra synchronized hop should cost percent-level, not 2x.
+    EXPECT_LT(static_cast<double>(r5.wallTicks),
+              1.15 * static_cast<double>(r4.wallTicks));
+}
+
+TEST(Partition, FetchDomainConsumesEnergy)
+{
+    auto src = makeBenchmark("gzip", 30000, 1);
+    McdProcessor proc(fiveDomainConfig(), *src);
+    const SimResult r = proc.run();
+    double fetch_energy = 0.0;
+    for (std::size_t c = 0; c < numEnergyCategories; ++c)
+        fetch_energy += r.energyBreakdown[static_cast<std::size_t>(
+            DomainId::Fetch)][c];
+    EXPECT_GT(fetch_energy, 0.0);
+
+    // In 4-domain mode the fetch row must be exactly zero.
+    auto src4 = makeBenchmark("gzip", 30000, 1);
+    SimConfig cfg4;
+    cfg4.controller = ControllerKind::Fixed;
+    McdProcessor p4(cfg4, *src4);
+    const SimResult r4 = p4.run();
+    double fetch4 = 0.0;
+    for (std::size_t c = 0; c < numEnergyCategories; ++c)
+        fetch4 += r4.energyBreakdown[static_cast<std::size_t>(
+            DomainId::Fetch)][c];
+    EXPECT_DOUBLE_EQ(fetch4, 0.0);
+}
+
+TEST(Partition, BranchAccuracySimilarAcrossPartitions)
+{
+    // Prediction moves from dispatch to fetch; accuracy should not
+    // collapse.
+    auto src4 = makeBenchmark("bzip2", 50000, 1);
+    SimConfig cfg4;
+    cfg4.controller = ControllerKind::Fixed;
+    McdProcessor p4(cfg4, *src4);
+    const SimResult r4 = p4.run();
+
+    auto src5 = makeBenchmark("bzip2", 50000, 1);
+    McdProcessor p5(fiveDomainConfig(), *src5);
+    const SimResult r5 = p5.run();
+
+    EXPECT_NEAR(r5.branchDirectionAccuracy, r4.branchDirectionAccuracy,
+                0.02);
+}
+
+TEST(Partition, AdaptiveDvfsStillWorks)
+{
+    auto base_src = makeBenchmark("adpcm_enc", 100000, 1);
+    McdProcessor base_proc(fiveDomainConfig(), *base_src);
+    const SimResult base = base_proc.run();
+
+    auto src = makeBenchmark("adpcm_enc", 100000, 1);
+    McdProcessor proc(fiveDomainConfig(ControllerKind::Adaptive), *src);
+    const SimResult run = proc.run();
+
+    const Comparison c = compare(run, base);
+    EXPECT_GT(c.energySavings, 0.0);
+    EXPECT_LT(run.domains[1].avgFrequency, 0.7e9); // FP idle -> scaled
+}
+
+TEST(Partition, MispredictRedirectStillBoundsRuntime)
+{
+    // A branch-heavy, low-predictability workload must still finish
+    // (the fetch-block/resolve handshake crosses three domains now).
+    PhaseSpec p;
+    p.fracBranch = 0.3;
+    p.predictability = 0.7;
+    p.fracLoad = 0.1;
+    p.fracStore = 0.05;
+    PhaseTraceGenerator gen("branchy", {p}, 30000, 3);
+    McdProcessor proc(fiveDomainConfig(ControllerKind::Adaptive), gen);
+    const SimResult r = proc.run();
+    EXPECT_EQ(r.instructions, 30000u);
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,163 @@
+/** @file Tests for GALS clock domains. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mcd/clock_domain.hh"
+
+namespace mcd
+{
+namespace
+{
+
+ClockDomain::Config
+jitterFree(DomainId id = DomainId::Int, Hertz f = gigaHertz(1.0))
+{
+    ClockDomain::Config cfg;
+    cfg.id = id;
+    cfg.initialHz = f;
+    cfg.initialVolt = 1.2;
+    cfg.jitterEnabled = false;
+    return cfg;
+}
+
+TEST(ClockDomain, EdgesOnExactGridWithoutJitter)
+{
+    EventQueue eq;
+    ClockDomain dom(eq, jitterFree());
+    std::vector<Tick> edges;
+    dom.start([&] { edges.push_back(eq.now()); });
+    eq.runUntil(ticksFromNs(10));
+    ASSERT_EQ(edges.size(), 10u);
+    for (std::size_t i = 0; i < edges.size(); ++i)
+        EXPECT_EQ(edges[i], ticksFromNs(i + 1));
+}
+
+TEST(ClockDomain, CycleCountMatchesEdges)
+{
+    EventQueue eq;
+    ClockDomain dom(eq, jitterFree());
+    dom.start([] {});
+    eq.runUntil(ticksFromNs(100));
+    EXPECT_EQ(dom.cycleCount(), 100u);
+}
+
+TEST(ClockDomain, SlowerClockTicksProportionallyLess)
+{
+    EventQueue eq;
+    ClockDomain fast(eq, jitterFree(DomainId::Int, gigaHertz(1.0)));
+    ClockDomain slow(eq,
+                     jitterFree(DomainId::Fp, megaHertz(250)));
+    fast.start([] {});
+    slow.start([] {});
+    eq.runUntil(ticksFromUs(1));
+    EXPECT_EQ(fast.cycleCount(), 1000u);
+    EXPECT_EQ(slow.cycleCount(), 250u);
+}
+
+TEST(ClockDomain, FrequencyChangeAppliesFromFollowingEdge)
+{
+    EventQueue eq;
+    ClockDomain dom(eq, jitterFree());
+    std::vector<Tick> edges;
+    dom.start([&] {
+        edges.push_back(eq.now());
+        if (edges.size() == 3) {
+            // Halve frequency at the third edge.
+            dom.applyOperatingPoint(megaHertz(500), 0.9);
+        }
+    });
+    eq.runUntil(ticksFromNs(12));
+    // Edges: 1, 2, 3 (change), then 5, 7, 9, 11.
+    ASSERT_GE(edges.size(), 7u);
+    EXPECT_EQ(edges[2], ticksFromNs(3));
+    EXPECT_EQ(edges[3], ticksFromNs(5));
+    EXPECT_EQ(edges[4], ticksFromNs(7));
+    EXPECT_DOUBLE_EQ(dom.frequency(), megaHertz(500));
+    EXPECT_DOUBLE_EQ(dom.voltage(), 0.9);
+}
+
+TEST(ClockDomain, JitterStaysWithinClamp)
+{
+    EventQueue eq;
+    ClockDomain::Config cfg = jitterFree();
+    cfg.jitterEnabled = true;
+    cfg.jitterSigmaFs = 3333.0;
+    cfg.jitterClampFs = 10000; // +-10 ps
+    ClockDomain dom(eq, cfg);
+    std::vector<Tick> edges;
+    dom.start([&] { edges.push_back(eq.now()); });
+    eq.runUntil(ticksFromUs(1));
+    ASSERT_GT(edges.size(), 900u);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        const auto ideal = static_cast<double>(ticksFromNs(i + 1));
+        const auto actual = static_cast<double>(edges[i]);
+        EXPECT_LE(std::abs(actual - ideal), 10000.0)
+            << "edge " << i;
+    }
+}
+
+TEST(ClockDomain, JitterDoesNotAccumulateDrift)
+{
+    EventQueue eq;
+    ClockDomain::Config cfg = jitterFree();
+    cfg.jitterEnabled = true;
+    ClockDomain dom(eq, cfg);
+    dom.start([] {});
+    eq.runUntil(ticksFromUs(10));
+    // 10 us at 1 GHz = 10000 cycles; jitter may lose at most a cycle.
+    EXPECT_NEAR(static_cast<double>(dom.cycleCount()), 10000.0, 2.0);
+}
+
+TEST(ClockDomain, JitterIsDeterministicPerSeed)
+{
+    auto run = [](std::uint64_t seed) {
+        EventQueue eq;
+        ClockDomain::Config cfg = jitterFree();
+        cfg.jitterEnabled = true;
+        cfg.jitterSeed = seed;
+        ClockDomain dom(eq, cfg);
+        std::vector<Tick> edges;
+        dom.start([&] { edges.push_back(eq.now()); });
+        eq.runUntil(ticksFromNs(100));
+        return edges;
+    };
+    EXPECT_EQ(run(1), run(1));
+    EXPECT_NE(run(1), run(2));
+}
+
+TEST(ClockDomain, VoltSquaredSecondsAccrues)
+{
+    EventQueue eq;
+    ClockDomain dom(eq, jitterFree());
+    dom.start([] {});
+    eq.runUntil(ticksFromUs(1));
+    dom.accrueVoltageTime();
+    // 1.2^2 * 1e-6 s = 1.44e-6, within an edge of slack.
+    EXPECT_NEAR(dom.voltSquaredSeconds(), 1.44e-6, 1.44e-8);
+}
+
+TEST(ClockDomain, NextEdgeAtOrAfter)
+{
+    EventQueue eq;
+    ClockDomain dom(eq, jitterFree());
+    dom.start([] {});
+    // Before any edge: next edge at 1 ns.
+    EXPECT_EQ(dom.nextEdgeAtOrAfter(0), ticksFromNs(1));
+    EXPECT_EQ(dom.nextEdgeAtOrAfter(ticksFromNs(1)), ticksFromNs(1));
+    // Extrapolates on the grid.
+    EXPECT_EQ(dom.nextEdgeAtOrAfter(ticksFromNs(5) + 1), ticksFromNs(6));
+}
+
+TEST(ClockDomain, DomainNames)
+{
+    EXPECT_STREQ(domainName(DomainId::FrontEnd), "frontend");
+    EXPECT_STREQ(domainName(DomainId::Int), "int");
+    EXPECT_STREQ(domainName(DomainId::Fp), "fp");
+    EXPECT_STREQ(domainName(DomainId::LoadStore), "ls");
+}
+
+} // namespace
+} // namespace mcd

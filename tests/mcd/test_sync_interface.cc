@@ -1,0 +1,90 @@
+/** @file Tests for the inter-domain synchronization interface. */
+
+#include <gtest/gtest.h>
+
+#include "mcd/sync_interface.hh"
+
+namespace mcd
+{
+namespace
+{
+
+ClockDomain::Config
+jitterFree(DomainId id, Hertz f)
+{
+    ClockDomain::Config cfg;
+    cfg.id = id;
+    cfg.initialHz = f;
+    cfg.jitterEnabled = false;
+    return cfg;
+}
+
+TEST(SyncInterface, DisabledModePassesThrough)
+{
+    EventQueue eq;
+    ClockDomain dst(eq, jitterFree(DomainId::Int, gigaHertz(1.0)));
+    dst.start([] {});
+    SyncInterface sync({ticksFromPs(300), false});
+    EXPECT_EQ(sync.visibleAt(dst, 123456), 123456u);
+    EXPECT_EQ(sync.crossingCount(), 1u);
+    EXPECT_EQ(sync.penaltyCount(), 0u);
+}
+
+TEST(SyncInterface, CaptureAtNextEdgeOutsideWindow)
+{
+    EventQueue eq;
+    ClockDomain dst(eq, jitterFree(DomainId::Int, gigaHertz(1.0)));
+    dst.start([] {});
+    SyncInterface sync({ticksFromPs(300), true});
+    // Produce 500 ps before the 1 ns edge: 500 > 300, capture at 1 ns.
+    const Tick produce = ticksFromNs(1) - ticksFromPs(500);
+    EXPECT_EQ(sync.visibleAt(dst, produce), ticksFromNs(1));
+    EXPECT_EQ(sync.penaltyCount(), 0u);
+}
+
+TEST(SyncInterface, SlipWhenInsideWindow)
+{
+    EventQueue eq;
+    ClockDomain dst(eq, jitterFree(DomainId::Int, gigaHertz(1.0)));
+    dst.start([] {});
+    SyncInterface sync({ticksFromPs(300), true});
+    // Produce 100 ps before the edge: too close, slip one cycle.
+    const Tick produce = ticksFromNs(1) - ticksFromPs(100);
+    EXPECT_EQ(sync.visibleAt(dst, produce), ticksFromNs(2));
+    EXPECT_EQ(sync.penaltyCount(), 1u);
+}
+
+TEST(SyncInterface, ExtrapolatesToLaterEdges)
+{
+    EventQueue eq;
+    ClockDomain dst(eq, jitterFree(DomainId::Int, gigaHertz(1.0)));
+    dst.start([] {});
+    SyncInterface sync({ticksFromPs(300), true});
+    const Tick produce = ticksFromNs(7) + ticksFromPs(100);
+    EXPECT_EQ(sync.visibleAt(dst, produce), ticksFromNs(8));
+}
+
+TEST(SyncInterface, SlowConsumerQuantizesToItsPeriod)
+{
+    EventQueue eq;
+    ClockDomain dst(eq, jitterFree(DomainId::Fp, megaHertz(250)));
+    dst.start([] {});
+    SyncInterface sync({ticksFromPs(300), true});
+    // 250 MHz consumer: edges every 4 ns.
+    EXPECT_EQ(sync.visibleAt(dst, ticksFromNs(1)), ticksFromNs(4));
+    EXPECT_EQ(sync.visibleAt(dst, ticksFromNs(5)), ticksFromNs(8));
+}
+
+TEST(SyncInterface, CountsAllCrossings)
+{
+    EventQueue eq;
+    ClockDomain dst(eq, jitterFree(DomainId::Int, gigaHertz(1.0)));
+    dst.start([] {});
+    SyncInterface sync({ticksFromPs(300), true});
+    for (int i = 0; i < 10; ++i)
+        sync.visibleAt(dst, ticksFromNs(i) + ticksFromPs(500));
+    EXPECT_EQ(sync.crossingCount(), 10u);
+}
+
+} // namespace
+} // namespace mcd

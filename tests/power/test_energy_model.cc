@@ -1,0 +1,106 @@
+/** @file Tests for the Wattch-style energy model. */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(EnergyModel, EventAtNominalVoltageChargesBase)
+{
+    EnergyModel em;
+    em.addEvent(DomainId::Int, EnergyCategory::Execute, 1e-9, 1.20);
+    EXPECT_NEAR(em.cell(DomainId::Int, EnergyCategory::Execute), 1e-9,
+                1e-15);
+}
+
+TEST(EnergyModel, VoltageSquaredScaling)
+{
+    EnergyModel em;
+    em.addEvent(DomainId::Int, EnergyCategory::Execute, 1e-9, 0.60);
+    // (0.6/1.2)^2 = 0.25.
+    EXPECT_NEAR(em.cell(DomainId::Int, EnergyCategory::Execute),
+                0.25e-9, 1e-15);
+}
+
+TEST(EnergyModel, CountMultiplies)
+{
+    EnergyModel em;
+    em.addEvent(DomainId::Fp, EnergyCategory::IssueQueue, 1e-9, 1.20,
+                8.0);
+    EXPECT_NEAR(em.cell(DomainId::Fp, EnergyCategory::IssueQueue), 8e-9,
+                1e-15);
+}
+
+TEST(EnergyModel, GatedClockCycleCostsFraction)
+{
+    EnergyModel::Config cfg;
+    cfg.gatedClockFraction = 0.15;
+    EnergyModel em(cfg);
+    em.addClockCycle(DomainId::Int, 1.20, true);
+    const double active = em.cell(DomainId::Int, EnergyCategory::Clock);
+    EnergyModel em2(cfg);
+    em2.addClockCycle(DomainId::Int, 1.20, false);
+    const double gated = em2.cell(DomainId::Int, EnergyCategory::Clock);
+    EXPECT_NEAR(gated, 0.15 * active, 1e-18);
+}
+
+TEST(EnergyModel, LeakageProportionalToV2Seconds)
+{
+    EnergyModel em;
+    em.addLeakage(DomainId::Int, 2.0); // 2 V^2*s
+    const double expected =
+        em.config().leakagePerV2[static_cast<std::size_t>(
+            DomainId::Int)] *
+        2.0;
+    EXPECT_NEAR(em.cell(DomainId::Int, EnergyCategory::Leakage),
+                expected, 1e-15);
+}
+
+TEST(EnergyModel, DomainAndCategoryTotalsConsistent)
+{
+    EnergyModel em;
+    em.addEvent(DomainId::Int, EnergyCategory::Execute, 1e-9, 1.2);
+    em.addEvent(DomainId::Fp, EnergyCategory::Execute, 2e-9, 1.2);
+    em.addEvent(DomainId::Int, EnergyCategory::Cache, 3e-9, 1.2);
+    EXPECT_NEAR(em.categoryEnergy(EnergyCategory::Execute), 3e-9, 1e-15);
+    EXPECT_NEAR(em.domainEnergy(DomainId::Int), 4e-9, 1e-15);
+    EXPECT_NEAR(em.totalEnergy(), 6e-9, 1e-15);
+}
+
+TEST(EnergyModel, RegulatorTransitions)
+{
+    EnergyModel::Config cfg;
+    cfg.regulatorPerTransition = 5e-9;
+    EnergyModel em(cfg);
+    em.addRegulatorTransition(DomainId::Fp);
+    em.addRegulatorTransition(DomainId::Fp);
+    EXPECT_NEAR(em.cell(DomainId::Fp, EnergyCategory::Regulator), 1e-8,
+                1e-15);
+}
+
+TEST(EnergyModel, CategoryNamesComplete)
+{
+    for (std::size_t c = 0; c < numEnergyCategories; ++c) {
+        EXPECT_NE(energyCategoryName(static_cast<EnergyCategory>(c)),
+                  nullptr);
+    }
+}
+
+TEST(EnergyModel, LowVoltageAlwaysCheaper)
+{
+    // Property: for the same activity, lower voltage never costs more.
+    for (double v = 0.65; v < 1.20; v += 0.05) {
+        EnergyModel low, high;
+        low.addEvent(DomainId::Int, EnergyCategory::Execute, 1e-9, v);
+        high.addEvent(DomainId::Int, EnergyCategory::Execute, 1e-9,
+                      v + 0.05);
+        EXPECT_LT(low.totalEnergy(), high.totalEnergy());
+    }
+}
+
+} // namespace
+} // namespace mcd

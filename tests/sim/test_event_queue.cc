@@ -1,0 +1,224 @@
+/** @file Tests for the event-driven simulation kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace mcd
+{
+namespace
+{
+
+/** Event that appends its tag to a shared log when processed. */
+class LogEvent : public Event
+{
+  public:
+    LogEvent(std::vector<int> &log_ref, int tag,
+             int priority = Event::defaultPriority)
+        : Event(priority), log(log_ref), _tag(tag)
+    {}
+
+    void process() override { log.push_back(_tag); }
+    const char *name() const override { return "log-event"; }
+
+  private:
+    std::vector<int> &log;
+    int _tag;
+};
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2), c(log, 3);
+    eq.schedule(&c, 300);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 200);
+    eq.runUntil(1000);
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, SameTickPriorityOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent lo(log, 1, 0), mid(log, 2, 5), hi(log, 3, 10);
+    eq.schedule(&hi, 100);
+    eq.schedule(&lo, 100);
+    eq.schedule(&mid, 100);
+    eq.runUntil(100);
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickSamePriorityInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2), c(log, 3);
+    eq.schedule(&a, 50);
+    eq.schedule(&b, 50);
+    eq.schedule(&c, 50);
+    eq.runUntil(50);
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, NowAdvancesWithProcessing)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(log, 1);
+    eq.schedule(&a, 777);
+    EXPECT_EQ(eq.now(), 0u);
+    eq.runUntil(10000);
+    EXPECT_EQ(eq.now(), 10000u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 500);
+    eq.runUntil(200);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(eq.size(), 1u);
+    eq.runUntil(500);
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RescheduleAfterProcess)
+{
+    EventQueue eq;
+    // Self-rescheduling event (like a clock edge).
+    struct Ticker : Event
+    {
+        EventQueue &q;
+        int count = 0;
+        explicit Ticker(EventQueue &queue) : q(queue) {}
+        void
+        process() override
+        {
+            if (++count < 5)
+                q.schedule(this, q.now() + 10);
+        }
+    } ticker(eq);
+    eq.schedule(&ticker, 10);
+    eq.runUntil(1000);
+    EXPECT_EQ(ticker.count, 5);
+}
+
+TEST(EventQueue, SquashDropsEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 200);
+    a.squash();
+    eq.runUntil(1000);
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, SquashedEventCanBeRescheduled)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(log, 1);
+    eq.schedule(&a, 100);
+    a.squash();
+    eq.runUntil(150);
+    EXPECT_FALSE(a.scheduled());
+    eq.schedule(&a, 200);
+    eq.runUntil(250);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+}
+
+TEST(EventQueue, StepConsumesOneEntry)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ScheduledFlagTracksState)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(log, 1);
+    EXPECT_FALSE(a.scheduled());
+    eq.schedule(&a, 5);
+    EXPECT_TRUE(a.scheduled());
+    eq.runUntil(5);
+    EXPECT_FALSE(a.scheduled());
+}
+
+TEST(EventQueue, NextEventTick)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(log, 1);
+    EXPECT_EQ(eq.nextEventTick(), maxTick);
+    eq.schedule(&a, 321);
+    EXPECT_EQ(eq.nextEventTick(), 321u);
+}
+
+TEST(EventQueue, ProcessedCount)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 1);
+    eq.schedule(&b, 2);
+    eq.runUntil(10);
+    EXPECT_EQ(eq.processedCount(), 2u);
+}
+
+TEST(EventQueueDeath, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(log, 1);
+    eq.schedule(&a, 10);
+    EXPECT_DEATH(eq.schedule(&a, 20), "double-scheduled");
+}
+
+TEST(EventQueueDeath, PastSchedulePanics)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 100);
+    eq.runUntil(100);
+    EXPECT_DEATH(eq.schedule(&b, 50), "in the past");
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    std::vector<std::unique_ptr<LogEvent>> events;
+    // Insert in a scrambled order; expect sorted processing.
+    for (int i = 0; i < 500; ++i) {
+        const int tag = (i * 7919) % 500;
+        events.push_back(std::make_unique<LogEvent>(log, tag));
+        eq.schedule(events.back().get(), Tick(tag) * 10 + 1);
+    }
+    eq.runUntil(100000);
+    ASSERT_EQ(log.size(), 500u);
+    for (int i = 0; i < 500; ++i)
+        ASSERT_EQ(log[i], i);
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Randomized stress test: the binary-heap event queue must agree with
+ * a simple sorted-list reference model over long random schedules of
+ * schedule / squash / reschedule operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "sim/event_queue.hh"
+
+namespace mcd
+{
+namespace
+{
+
+/** Event that records (id, time) into a shared log. */
+class StressEvent : public Event
+{
+  public:
+    StressEvent(std::vector<std::pair<int, Tick>> &log_ref, int id,
+                int priority)
+        : Event(priority), log(log_ref), _id(id)
+    {}
+
+    void
+    process() override
+    {
+        log.push_back({_id, 0});
+    }
+
+    int id() const { return _id; }
+
+  private:
+    std::vector<std::pair<int, Tick>> &log;
+    int _id;
+};
+
+struct RefEntry
+{
+    Tick when;
+    int priority;
+    std::uint64_t seq;
+    int id;
+    bool squashed;
+};
+
+TEST(EventQueueStress, MatchesReferenceModelOverRandomOps)
+{
+    Rng rng(2024);
+    EventQueue eq;
+    std::vector<std::pair<int, Tick>> log;
+
+    std::vector<std::unique_ptr<StressEvent>> events;
+    std::vector<RefEntry> reference;
+    std::uint64_t ref_seq = 0;
+
+    const int rounds = 50;
+    int next_id = 0;
+    for (int round = 0; round < rounds; ++round) {
+        // Schedule a random batch in the future.
+        const int batch = 1 + static_cast<int>(rng.below(20));
+        for (int i = 0; i < batch; ++i) {
+            const Tick when = eq.now() + 1 + rng.below(1000);
+            const int prio = static_cast<int>(rng.below(4));
+            events.push_back(std::make_unique<StressEvent>(
+                log, next_id, prio));
+            eq.schedule(events.back().get(), when);
+            reference.push_back(
+                {when, prio, ref_seq++, next_id, false});
+            ++next_id;
+        }
+
+        // Squash a few pending events.
+        for (auto &ref : reference) {
+            if (!ref.squashed && rng.chance(0.05)) {
+                // Find the matching live event and squash it.
+                for (auto &ev : events) {
+                    if (ev->id() == ref.id && ev->scheduled()) {
+                        ev->squash();
+                        ref.squashed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Run to a random horizon and compare orders.
+        const Tick horizon = eq.now() + 1 + rng.below(1500);
+        log.clear();
+        eq.runUntil(horizon);
+
+        std::vector<int> expected;
+        std::vector<RefEntry> remaining;
+        std::stable_sort(reference.begin(), reference.end(),
+                         [](const RefEntry &a, const RefEntry &b) {
+                             if (a.when != b.when)
+                                 return a.when < b.when;
+                             if (a.priority != b.priority)
+                                 return a.priority < b.priority;
+                             return a.seq < b.seq;
+                         });
+        for (const auto &ref : reference) {
+            if (ref.when <= horizon) {
+                if (!ref.squashed)
+                    expected.push_back(ref.id);
+            } else {
+                remaining.push_back(ref);
+            }
+        }
+        reference = std::move(remaining);
+
+        ASSERT_EQ(log.size(), expected.size()) << "round " << round;
+        for (std::size_t i = 0; i < expected.size(); ++i)
+            ASSERT_EQ(log[i].first, expected[i]) << "round " << round;
+    }
+}
+
+} // namespace
+} // namespace mcd

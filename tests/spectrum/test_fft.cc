@@ -1,0 +1,117 @@
+/** @file Tests for the radix-2 FFT. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/random.hh"
+#include "spectrum/fft.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(Fft, NextPow2)
+{
+    EXPECT_EQ(nextPow2(0), 1u);
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(2), 2u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(1024), 1024u);
+    EXPECT_EQ(nextPow2(1025), 2048u);
+}
+
+TEST(Fft, ImpulseIsFlat)
+{
+    std::vector<std::complex<double>> x(16, {0.0, 0.0});
+    x[0] = {1.0, 0.0};
+    fft(x);
+    for (const auto &v : x) {
+        EXPECT_NEAR(v.real(), 1.0, 1e-12);
+        EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, ConstantIsDcOnly)
+{
+    std::vector<std::complex<double>> x(8, {2.0, 0.0});
+    fft(x);
+    EXPECT_NEAR(x[0].real(), 16.0, 1e-12);
+    for (std::size_t k = 1; k < 8; ++k)
+        EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-12);
+}
+
+TEST(Fft, SinusoidPeaksAtItsBin)
+{
+    const std::size_t n = 64;
+    const std::size_t bin = 5;
+    std::vector<std::complex<double>> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = {std::sin(2.0 * M_PI * static_cast<double>(bin * i) /
+                         static_cast<double>(n)),
+                0.0};
+    }
+    fft(x);
+    // Energy concentrates at bins +-bin; amplitude n/2.
+    EXPECT_NEAR(std::abs(x[bin]), n / 2.0, 1e-9);
+    EXPECT_NEAR(std::abs(x[n - bin]), n / 2.0, 1e-9);
+    for (std::size_t k = 1; k < n / 2; ++k) {
+        if (k != bin) {
+            EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9);
+        }
+    }
+}
+
+TEST(Fft, InverseRoundTrip)
+{
+    Rng rng(31);
+    const std::size_t n = 128;
+    std::vector<std::complex<double>> x(n);
+    for (auto &v : x)
+        v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    auto orig = x;
+    fft(x);
+    fft(x, true);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(x[i].real() / static_cast<double>(n), orig[i].real(),
+                    1e-10);
+        EXPECT_NEAR(x[i].imag() / static_cast<double>(n), orig[i].imag(),
+                    1e-10);
+    }
+}
+
+TEST(Fft, ParsevalHolds)
+{
+    Rng rng(37);
+    const std::size_t n = 256;
+    std::vector<std::complex<double>> x(n);
+    double time_energy = 0.0;
+    for (auto &v : x) {
+        v = {rng.gaussian(), 0.0};
+        time_energy += std::norm(v);
+    }
+    fft(x);
+    double freq_energy = 0.0;
+    for (const auto &v : x)
+        freq_energy += std::norm(v);
+    EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-8);
+}
+
+TEST(Fft, RealFftPadsToPow2)
+{
+    std::vector<double> x(100, 1.0);
+    const auto spec = realFft(x);
+    EXPECT_EQ(spec.size(), 128u);
+    EXPECT_NEAR(spec[0].real(), 100.0, 1e-12);
+}
+
+TEST(FftDeath, NonPowerOfTwoPanics)
+{
+    std::vector<std::complex<double>> x(12, {0.0, 0.0});
+    EXPECT_DEATH(fft(x), "power of 2");
+}
+
+} // namespace
+} // namespace mcd

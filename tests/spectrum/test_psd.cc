@@ -1,0 +1,211 @@
+/** @file Tests for the variance-spectrum estimators (Figure 8 path). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.hh"
+#include "spectrum/psd.hh"
+
+namespace mcd
+{
+namespace
+{
+
+std::vector<double>
+sineSeries(std::size_t n, double cycles_per_sample, double amp,
+           double mean = 0.0)
+{
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = mean + amp * std::sin(2.0 * M_PI * cycles_per_sample *
+                                     static_cast<double>(i));
+    }
+    return x;
+}
+
+double
+peakFrequency(const VarianceSpectrum &vs)
+{
+    double best = 0.0;
+    double best_d = -1.0;
+    for (std::size_t i = 0; i < vs.frequency.size(); ++i) {
+        if (vs.density[i] > best_d) {
+            best_d = vs.density[i];
+            best = vs.frequency[i];
+        }
+    }
+    return best;
+}
+
+/** Estimator kinds exercised by the parameterized sweep. */
+enum class Estimator
+{
+    Periodogram,
+    Welch,
+    Multitaper,
+};
+
+VarianceSpectrum
+estimate(Estimator e, const std::vector<double> &x, double fs)
+{
+    switch (e) {
+      case Estimator::Periodogram: return periodogram(x, fs);
+      case Estimator::Welch: return welchPsd(x, fs, 256);
+      case Estimator::Multitaper: return sineMultitaperPsd(x, fs, 5);
+    }
+    return {};
+}
+
+class PsdEstimators : public ::testing::TestWithParam<Estimator>
+{};
+
+TEST_P(PsdEstimators, SinePeakAtCorrectFrequency)
+{
+    const double fs = 1000.0;
+    const double f0 = 125.0; // cycles per second
+    const auto x = sineSeries(4096, f0 / fs, 1.0, 5.0);
+    const auto vs = estimate(GetParam(), x, fs);
+    EXPECT_NEAR(peakFrequency(vs), f0, fs / 64.0);
+}
+
+TEST_P(PsdEstimators, TotalVarianceMatchesSignal)
+{
+    const double fs = 250e6;
+    const auto x = sineSeries(4096, 0.05, 2.0); // variance amp^2/2 = 2
+    const auto vs = estimate(GetParam(), x, fs);
+    EXPECT_NEAR(vs.totalVariance(), 2.0, 0.25);
+}
+
+TEST_P(PsdEstimators, WhiteNoiseVarianceRecovered)
+{
+    Rng rng(41);
+    std::vector<double> x(8192);
+    for (auto &v : x)
+        v = rng.gaussian(0.0, 3.0); // variance 9
+    const auto vs = estimate(GetParam(), x, 1.0);
+    EXPECT_NEAR(vs.totalVariance(), 9.0, 1.0);
+}
+
+TEST_P(PsdEstimators, ShortSeriesDoesNotCrash)
+{
+    std::vector<double> x{1.0, 2.0, 3.0};
+    const auto vs = estimate(GetParam(), x, 10.0);
+    (void)vs.totalVariance();
+}
+
+TEST_P(PsdEstimators, EmptySeriesGivesEmptySpectrum)
+{
+    const auto vs = estimate(GetParam(), {}, 10.0);
+    EXPECT_TRUE(vs.frequency.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEstimators, PsdEstimators,
+                         ::testing::Values(Estimator::Periodogram,
+                                           Estimator::Welch,
+                                           Estimator::Multitaper),
+                         [](const auto &info) {
+                             switch (info.param) {
+                               case Estimator::Periodogram:
+                                 return "periodogram";
+                               case Estimator::Welch: return "welch";
+                               case Estimator::Multitaper:
+                                 return "multitaper";
+                             }
+                             return "unknown";
+                         });
+
+TEST(Psd, BandVarianceSplitsCorrectly)
+{
+    // Two sinusoids at well-separated frequencies.
+    const double fs = 1000.0;
+    const std::size_t n = 8192;
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i);
+        x[i] = 1.0 * std::sin(2.0 * M_PI * 50.0 / fs * t) +
+               2.0 * std::sin(2.0 * M_PI * 400.0 / fs * t);
+    }
+    const auto vs = sineMultitaperPsd(x, fs, 5);
+    // Variances: 0.5 at 50 Hz, 2.0 at 400 Hz.
+    EXPECT_NEAR(vs.bandVariance(10, 100), 0.5, 0.15);
+    EXPECT_NEAR(vs.bandVariance(300, 500), 2.0, 0.3);
+}
+
+TEST(Psd, ShortWavelengthVarianceIdentifiesFastSignal)
+{
+    const std::size_t n = 16384;
+    // Fast signal: wavelength 64 samples. Slow: wavelength 4096.
+    const auto fast = sineSeries(n, 1.0 / 64.0, 1.0);
+    const auto slow = sineSeries(n, 1.0 / 4096.0, 1.0);
+    const double fs = 1.0;
+    const double cutoff = 512.0; // wavelength threshold in samples
+
+    const auto vf = sineMultitaperPsd(fast, fs, 5);
+    const auto vs = sineMultitaperPsd(slow, fs, 5);
+    EXPECT_GT(vf.fastVarianceFraction(cutoff), 0.8);
+    EXPECT_LT(vs.fastVarianceFraction(cutoff), 0.2);
+}
+
+TEST(Psd, RemoveMean)
+{
+    std::vector<double> x{1.0, 2.0, 3.0};
+    removeMean(x);
+    EXPECT_DOUBLE_EQ(x[0], -1.0);
+    EXPECT_DOUBLE_EQ(x[1], 0.0);
+    EXPECT_DOUBLE_EQ(x[2], 1.0);
+}
+
+TEST(Psd, RemoveLinearTrend)
+{
+    std::vector<double> x;
+    for (int i = 0; i < 100; ++i)
+        x.push_back(3.0 + 0.5 * i);
+    removeLinearTrend(x);
+    for (double v : x)
+        EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Psd, TrendRemovalPreservesOscillation)
+{
+    std::vector<double> x;
+    for (int i = 0; i < 1024; ++i)
+        x.push_back(0.01 * i + std::sin(2.0 * M_PI * i / 32.0));
+    removeLinearTrend(x);
+    double var = 0.0;
+    for (double v : x)
+        var += v * v;
+    var /= static_cast<double>(x.size());
+    EXPECT_NEAR(var, 0.5, 0.1);
+}
+
+TEST(Psd, BandFractionSelectsMidWavelengths)
+{
+    const std::size_t n = 16384;
+    // Components: noise-scale (wavelength 8), band-scale (256), and
+    // slow (8192); equal amplitudes.
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i);
+        x[i] = std::sin(2.0 * M_PI * t / 8.0) +
+               std::sin(2.0 * M_PI * t / 256.0) +
+               std::sin(2.0 * M_PI * t / 8192.0);
+    }
+    const auto vs = sineMultitaperPsd(x, 1.0, 5);
+    // One of three equal variances falls in [64, 1024].
+    EXPECT_NEAR(vs.bandVarianceFraction(64.0, 1024.0), 1.0 / 3.0, 0.08);
+    // Degenerate band inputs.
+    EXPECT_DOUBLE_EQ(vs.bandVarianceFraction(100.0, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(vs.bandVarianceFraction(-5.0, 100.0), 0.0);
+}
+
+TEST(Psd, FastFractionZeroWhenNoVariance)
+{
+    std::vector<double> x(1024, 7.0);
+    const auto vs = periodogram(x, 1.0);
+    EXPECT_DOUBLE_EQ(vs.fastVarianceFraction(100.0), 0.0);
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,71 @@
+/** @file Tests for the fixed-bin histogram. */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(Histogram, BinsCountCorrectly)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    for (std::size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(h.binAt(b), 1u);
+    EXPECT_EQ(h.totalCount(), 10u);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(2.0);
+    h.add(0.5);
+    EXPECT_EQ(h.underflowCount(), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    EXPECT_EQ(h.totalCount(), 3u);
+}
+
+TEST(Histogram, UpperEdgeIsOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(1.0);
+    EXPECT_EQ(h.overflowCount(), 1u);
+}
+
+TEST(Histogram, LowerEdgeIsFirstBin)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.0);
+    EXPECT_EQ(h.binAt(0), 1u);
+}
+
+TEST(Histogram, BinLowerEdge)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLowerEdge(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLowerEdge(2), 14.0);
+}
+
+TEST(Histogram, CumulativeFraction)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(2.5);
+    h.add(3.5);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(3), 1.0);
+}
+
+TEST(HistogramDeath, DegenerateRange)
+{
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "degenerate");
+}
+
+} // namespace
+} // namespace mcd

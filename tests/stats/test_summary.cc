@@ -1,0 +1,102 @@
+/** @file Tests for the Welford summary accumulator. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "stats/summary.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(Summary, EmptyIsZero)
+{
+    SummaryStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, KnownValues)
+{
+    SummaryStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, SampleVarianceUsesNMinusOne)
+{
+    SummaryStats s;
+    s.add(1.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 2.0);
+}
+
+TEST(Summary, SingleSampleVarianceZero)
+{
+    SummaryStats s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 0.0);
+}
+
+TEST(Summary, MergeEqualsSinglePass)
+{
+    Rng rng(5);
+    SummaryStats whole, left, right;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.gaussian(3.0, 2.0);
+        whole.add(x);
+        (i < 5000 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmpty)
+{
+    SummaryStats a, b;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Summary, Reset)
+{
+    SummaryStats s;
+    s.add(10.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(Summary, NumericalStabilityLargeOffset)
+{
+    // Welford must survive a large constant offset.
+    SummaryStats s;
+    const double offset = 1e12;
+    for (int i = 0; i < 1000; ++i)
+        s.add(offset + (i % 2 ? 1.0 : -1.0));
+    EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+} // namespace
+} // namespace mcd

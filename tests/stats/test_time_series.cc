@@ -1,0 +1,105 @@
+/** @file Tests for the time-series recorder. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "stats/time_series.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(TimeSeries, RecordsTicksAndValues)
+{
+    TimeSeries ts("q");
+    ts.add(10, 1.0);
+    ts.add(20, 2.0);
+    ASSERT_EQ(ts.size(), 2u);
+    EXPECT_EQ(ts.tickAt(0), 10u);
+    EXPECT_DOUBLE_EQ(ts.valueAt(1), 2.0);
+    EXPECT_EQ(ts.name(), "q");
+}
+
+TEST(TimeSeries, DecimationKeepsEveryKth)
+{
+    TimeSeries ts("q", 4);
+    for (int i = 0; i < 100; ++i)
+        ts.add(Tick(i), static_cast<double>(i));
+    EXPECT_EQ(ts.size(), 25u);
+    EXPECT_DOUBLE_EQ(ts.valueAt(1), 4.0);
+}
+
+TEST(TimeSeries, SummarySeesAllSamplesDespiteDecimation)
+{
+    TimeSeries ts("q", 10);
+    for (int i = 0; i < 100; ++i)
+        ts.add(Tick(i), static_cast<double>(i));
+    EXPECT_EQ(ts.summary().count(), 100u);
+    EXPECT_DOUBLE_EQ(ts.summary().mean(), 49.5);
+}
+
+TEST(TimeSeries, BucketMeans)
+{
+    TimeSeries ts("q");
+    for (int i = 0; i < 100; ++i)
+        ts.add(Tick(i), i < 50 ? 1.0 : 3.0);
+    const auto buckets = ts.bucketMeans(2);
+    ASSERT_EQ(buckets.size(), 2u);
+    EXPECT_DOUBLE_EQ(buckets[0], 1.0);
+    EXPECT_DOUBLE_EQ(buckets[1], 3.0);
+}
+
+TEST(TimeSeries, BucketMeansMoreBucketsThanSamples)
+{
+    TimeSeries ts("q");
+    ts.add(0, 5.0);
+    ts.add(1, 7.0);
+    const auto buckets = ts.bucketMeans(8);
+    ASSERT_EQ(buckets.size(), 8u);
+    for (double b : buckets)
+        EXPECT_TRUE(b == 5.0 || b == 7.0);
+}
+
+TEST(TimeSeries, BucketMeansEmpty)
+{
+    TimeSeries ts("q");
+    EXPECT_TRUE(ts.bucketMeans(4).empty());
+    ts.add(0, 1.0);
+    EXPECT_TRUE(ts.bucketMeans(0).empty());
+}
+
+TEST(TimeSeries, Clear)
+{
+    TimeSeries ts("q");
+    ts.add(0, 1.0);
+    ts.clear();
+    EXPECT_TRUE(ts.empty());
+    EXPECT_EQ(ts.summary().count(), 0u);
+}
+
+TEST(TimeSeries, CsvOutput)
+{
+    TimeSeries ts("occupancy");
+    ts.add(ticksFromNs(1), 3.5);
+    ts.add(ticksFromNs(2), 4.5);
+    const std::string path = ::testing::TempDir() + "/ts_test.csv";
+    ts.writeCsv(path);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header, line1, line2;
+    std::getline(in, header);
+    std::getline(in, line1);
+    std::getline(in, line2);
+    EXPECT_EQ(header, "time_s,occupancy");
+    EXPECT_NE(line1.find("3.5"), std::string::npos);
+    EXPECT_NE(line2.find("4.5"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,154 @@
+/** @file Tests for the benchmark profile registry (Table 2 suite). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/benchmarks.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(Benchmarks, RegistryHasSeventeenEntries)
+{
+    // 6 MediaBench + 6 SPEC2000int + 5 SPEC2000fp, as in the paper.
+    EXPECT_EQ(benchmarkList().size(), 17u);
+}
+
+TEST(Benchmarks, SuiteComposition)
+{
+    int media = 0, specint = 0, specfp = 0;
+    for (const auto &b : benchmarkList()) {
+        if (b.suite == "MediaBench")
+            ++media;
+        else if (b.suite == "SPEC2000int")
+            ++specint;
+        else if (b.suite == "SPEC2000fp")
+            ++specfp;
+        else
+            FAIL() << "unknown suite " << b.suite;
+    }
+    EXPECT_EQ(media, 6);
+    EXPECT_EQ(specint, 6);
+    EXPECT_EQ(specfp, 5);
+}
+
+TEST(Benchmarks, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &b : benchmarkList())
+        EXPECT_TRUE(names.insert(b.name).second) << b.name;
+}
+
+TEST(Benchmarks, FastVaryingGroupNonEmpty)
+{
+    int fast = 0;
+    for (const auto &b : benchmarkList())
+        fast += b.expectedFastVarying;
+    EXPECT_GE(fast, 4);
+    EXPECT_LE(fast, 8);
+}
+
+TEST(Benchmarks, InfoLookup)
+{
+    const auto &info = benchmarkInfo("epic_decode");
+    EXPECT_EQ(info.suite, "MediaBench");
+    EXPECT_FALSE(info.description.empty());
+}
+
+TEST(BenchmarksDeath, UnknownNameFatal)
+{
+    EXPECT_EXIT(benchmarkInfo("quake3"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+    EXPECT_EXIT(makeBenchmark("quake3", 1000),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+/** Every profile must construct and deliver its full trace. */
+class AllBenchmarks : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(AllBenchmarks, ProducesRequestedInstructions)
+{
+    auto src = makeBenchmark(GetParam(), 20000, 1);
+    ASSERT_NE(src, nullptr);
+    EXPECT_EQ(src->totalInstructions(), 20000u);
+    TraceInst inst;
+    std::uint64_t n = 0;
+    while (src->next(inst))
+        ++n;
+    EXPECT_EQ(n, 20000u);
+}
+
+TEST_P(AllBenchmarks, DeterministicForFixedSeed)
+{
+    auto a = makeBenchmark(GetParam(), 5000, 99);
+    auto b = makeBenchmark(GetParam(), 5000, 99);
+    TraceInst ia, ib;
+    while (a->next(ia)) {
+        ASSERT_TRUE(b->next(ib));
+        ASSERT_EQ(ia.pc, ib.pc);
+        ASSERT_EQ(ia.cls, ib.cls);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AllBenchmarks, [] {
+    std::vector<std::string> names;
+    for (const auto &b : benchmarkList())
+        names.push_back(b.name);
+    return ::testing::ValuesIn(names);
+}());
+
+TEST(Benchmarks, DistinctBenchmarksProduceDistinctStreams)
+{
+    auto a = makeBenchmark("gzip", 2000, 1);
+    auto b = makeBenchmark("gcc", 2000, 1);
+    TraceInst ia, ib;
+    int same = 0;
+    while (a->next(ia) && b->next(ib)) {
+        if (ia.pc == ib.pc && ia.cls == ib.cls)
+            ++same;
+    }
+    EXPECT_LT(same, 200);
+}
+
+TEST(Benchmarks, FpBenchmarksContainFpWork)
+{
+    for (const char *name : {"applu", "swim", "mesa", "equake", "art"}) {
+        auto src = makeBenchmark(name, 10000, 1);
+        TraceInst inst;
+        int fp = 0;
+        while (src->next(inst))
+            fp += isFp(inst.cls);
+        EXPECT_GT(fp, 1000) << name;
+    }
+}
+
+TEST(Benchmarks, IntBenchmarksAreFpFree)
+{
+    for (const char *name : {"adpcm_enc", "gzip", "mcf", "parser"}) {
+        auto src = makeBenchmark(name, 10000, 1);
+        TraceInst inst;
+        int fp = 0;
+        while (src->next(inst))
+            fp += isFp(inst.cls);
+        EXPECT_EQ(fp, 0) << name;
+    }
+}
+
+TEST(Benchmarks, McfIsMemoryHeavy)
+{
+    auto src = makeBenchmark("mcf", 20000, 1);
+    TraceInst inst;
+    int loads = 0, total = 0;
+    while (src->next(inst)) {
+        loads += inst.cls == InstClass::Load;
+        ++total;
+    }
+    EXPECT_GT(static_cast<double>(loads) / total, 0.25);
+}
+
+} // namespace
+} // namespace mcd

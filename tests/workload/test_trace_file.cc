@@ -1,0 +1,130 @@
+/** @file Tests for the binary trace file format. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/mcd_processor.hh"
+#include "workload/benchmarks.hh"
+#include "workload/trace_file.hh"
+
+namespace mcd
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TraceFile, RoundTripPreservesEveryField)
+{
+    const std::string path = tempPath("roundtrip.mcdt");
+    auto gen = makeBenchmark("mpeg2_dec", 5000, 7);
+    const auto written = writeTraceFile(path, *gen);
+    EXPECT_EQ(written, 5000u);
+
+    gen->reset();
+    TraceFileSource file(path);
+    EXPECT_EQ(file.totalInstructions(), 5000u);
+
+    TraceInst a, b;
+    std::uint64_t n = 0;
+    while (gen->next(a)) {
+        ASSERT_TRUE(file.next(b));
+        ASSERT_EQ(a.cls, b.cls);
+        ASSERT_EQ(a.pc, b.pc);
+        ASSERT_EQ(a.srcDist[0], b.srcDist[0]);
+        ASSERT_EQ(a.srcDist[1], b.srcDist[1]);
+        ASSERT_EQ(a.taken, b.taken);
+        if (a.cls == InstClass::Branch) {
+            ASSERT_EQ(a.target, b.target);
+        }
+        if (isMem(a.cls)) {
+            ASSERT_EQ(a.addr, b.addr);
+        }
+        ++n;
+    }
+    EXPECT_FALSE(file.next(b));
+    EXPECT_EQ(n, 5000u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ResetReplays)
+{
+    const std::string path = tempPath("reset.mcdt");
+    auto gen = makeBenchmark("gzip", 1000, 3);
+    writeTraceFile(path, *gen);
+
+    TraceFileSource file(path);
+    TraceInst first{};
+    ASSERT_TRUE(file.next(first));
+    TraceInst rest;
+    while (file.next(rest)) {}
+    file.reset();
+    TraceInst again{};
+    ASSERT_TRUE(file.next(again));
+    EXPECT_EQ(first.pc, again.pc);
+    EXPECT_EQ(first.cls, again.cls);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, FileSizeMatchesFormat)
+{
+    const std::string path = tempPath("size.mcdt");
+    auto gen = makeBenchmark("adpcm_enc", 100, 1);
+    writeTraceFile(path, *gen);
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    EXPECT_EQ(in.tellg(), std::streamoff(24 + 100 * 24));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, MissingFile)
+{
+    EXPECT_EXIT(TraceFileSource("/nonexistent/nowhere.mcdt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFileDeath, BadMagic)
+{
+    const std::string path = tempPath("bad.mcdt");
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTATRACEFILEHEADER-PADDING-PAD";
+    out.close();
+    EXPECT_EXIT(TraceFileSource{path}, ::testing::ExitedWithCode(1),
+                "not an mcdsim trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, DrivesProcessorIdenticallyToGenerator)
+{
+    // A file-backed source must drive the full processor to the exact
+    // same result as the generator it was captured from.
+    const std::string path = tempPath("procsrc.mcdt");
+    {
+        auto gen = makeBenchmark("adpcm_enc", 20000, 5);
+        writeTraceFile(path, *gen);
+    }
+
+    SimConfig cfg;
+    cfg.controller = ControllerKind::Adaptive;
+
+    auto gen = makeBenchmark("adpcm_enc", 20000, 5);
+    McdProcessor from_gen(cfg, *gen);
+    const SimResult a = from_gen.run();
+
+    TraceFileSource file(path);
+    McdProcessor from_file(cfg, file);
+    const SimResult b = from_file.run();
+
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.wallTicks, b.wallTicks);
+    EXPECT_DOUBLE_EQ(a.energy, b.energy);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace mcd
