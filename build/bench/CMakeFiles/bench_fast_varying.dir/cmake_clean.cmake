@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fast_varying.dir/bench_fast_varying.cc.o"
+  "CMakeFiles/bench_fast_varying.dir/bench_fast_varying.cc.o.d"
+  "bench_fast_varying"
+  "bench_fast_varying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fast_varying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fast_varying.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fast_varying.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_approximation.dir/bench_fig6_approximation.cc.o"
+  "CMakeFiles/bench_fig6_approximation.dir/bench_fig6_approximation.cc.o.d"
+  "bench_fig6_approximation"
+  "bench_fig6_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hardware_cost.dir/bench_hardware_cost.cc.o"
+  "CMakeFiles/bench_hardware_cost.dir/bench_hardware_cost.cc.o.d"
+  "bench_hardware_cost"
+  "bench_hardware_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hardware_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

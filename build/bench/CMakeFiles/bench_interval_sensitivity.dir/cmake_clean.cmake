@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interval_sensitivity.dir/bench_interval_sensitivity.cc.o"
+  "CMakeFiles/bench_interval_sensitivity.dir/bench_interval_sensitivity.cc.o.d"
+  "bench_interval_sensitivity"
+  "bench_interval_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interval_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

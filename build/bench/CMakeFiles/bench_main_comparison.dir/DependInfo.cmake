@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_main_comparison.cc" "bench/CMakeFiles/bench_main_comparison.dir/bench_main_comparison.cc.o" "gcc" "bench/CMakeFiles/bench_main_comparison.dir/bench_main_comparison.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcdsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcdsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectrum/CMakeFiles/mcdsim_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/mcdsim_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mcdsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mcdsim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mcdsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mcdsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcd/CMakeFiles/mcdsim_mcd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcdsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/mcdsim_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mcdsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_main_comparison.dir/bench_main_comparison.cc.o"
+  "CMakeFiles/bench_main_comparison.dir/bench_main_comparison.cc.o.d"
+  "bench_main_comparison"
+  "bench_main_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_main_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

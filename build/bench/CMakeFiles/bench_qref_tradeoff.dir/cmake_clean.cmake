@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qref_tradeoff.dir/bench_qref_tradeoff.cc.o"
+  "CMakeFiles/bench_qref_tradeoff.dir/bench_qref_tradeoff.cc.o.d"
+  "bench_qref_tradeoff"
+  "bench_qref_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qref_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

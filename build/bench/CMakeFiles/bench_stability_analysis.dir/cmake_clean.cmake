@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stability_analysis.dir/bench_stability_analysis.cc.o"
+  "CMakeFiles/bench_stability_analysis.dir/bench_stability_analysis.cc.o.d"
+  "bench_stability_analysis"
+  "bench_stability_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stability_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

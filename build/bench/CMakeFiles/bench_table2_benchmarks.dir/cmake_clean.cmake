@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_benchmarks.dir/bench_table2_benchmarks.cc.o"
+  "CMakeFiles/bench_table2_benchmarks.dir/bench_table2_benchmarks.cc.o.d"
+  "bench_table2_benchmarks"
+  "bench_table2_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_design.dir/control_design.cpp.o"
+  "CMakeFiles/control_design.dir/control_design.cpp.o.d"
+  "control_design"
+  "control_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

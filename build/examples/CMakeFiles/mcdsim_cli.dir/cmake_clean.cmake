@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsim_cli.dir/mcdsim_cli.cpp.o"
+  "CMakeFiles/mcdsim_cli.dir/mcdsim_cli.cpp.o.d"
+  "mcdsim_cli"
+  "mcdsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

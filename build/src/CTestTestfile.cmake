@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("stats")
+subdirs("spectrum")
+subdirs("control")
+subdirs("dvfs")
+subdirs("workload")
+subdirs("mem")
+subdirs("arch")
+subdirs("mcd")
+subdirs("power")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsim_arch.dir/branch_predictor.cc.o"
+  "CMakeFiles/mcdsim_arch.dir/branch_predictor.cc.o.d"
+  "libmcdsim_arch.a"
+  "libmcdsim_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsim_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

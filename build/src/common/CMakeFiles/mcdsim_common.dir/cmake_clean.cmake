@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsim_common.dir/logging.cc.o"
+  "CMakeFiles/mcdsim_common.dir/logging.cc.o.d"
+  "CMakeFiles/mcdsim_common.dir/random.cc.o"
+  "CMakeFiles/mcdsim_common.dir/random.cc.o.d"
+  "libmcdsim_common.a"
+  "libmcdsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

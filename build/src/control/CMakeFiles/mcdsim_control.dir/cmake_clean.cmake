@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsim_control.dir/controller_model.cc.o"
+  "CMakeFiles/mcdsim_control.dir/controller_model.cc.o.d"
+  "libmcdsim_control.a"
+  "libmcdsim_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsim_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsim_core.dir/mcd_processor.cc.o"
+  "CMakeFiles/mcdsim_core.dir/mcd_processor.cc.o.d"
+  "CMakeFiles/mcdsim_core.dir/report.cc.o"
+  "CMakeFiles/mcdsim_core.dir/report.cc.o.d"
+  "CMakeFiles/mcdsim_core.dir/runner.cc.o"
+  "CMakeFiles/mcdsim_core.dir/runner.cc.o.d"
+  "libmcdsim_core.a"
+  "libmcdsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

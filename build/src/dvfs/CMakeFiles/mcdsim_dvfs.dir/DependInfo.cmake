@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvfs/adaptive_controller.cc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/adaptive_controller.cc.o" "gcc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/adaptive_controller.cc.o.d"
+  "/root/repo/src/dvfs/attack_decay_controller.cc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/attack_decay_controller.cc.o" "gcc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/attack_decay_controller.cc.o.d"
+  "/root/repo/src/dvfs/dvfs_driver.cc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/dvfs_driver.cc.o" "gcc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/dvfs_driver.cc.o.d"
+  "/root/repo/src/dvfs/hardware_cost.cc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/hardware_cost.cc.o" "gcc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/hardware_cost.cc.o.d"
+  "/root/repo/src/dvfs/pid_controller.cc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/pid_controller.cc.o" "gcc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/pid_controller.cc.o.d"
+  "/root/repo/src/dvfs/signal_fsm.cc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/signal_fsm.cc.o" "gcc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/signal_fsm.cc.o.d"
+  "/root/repo/src/dvfs/vf_curve.cc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/vf_curve.cc.o" "gcc" "src/dvfs/CMakeFiles/mcdsim_dvfs.dir/vf_curve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcdsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

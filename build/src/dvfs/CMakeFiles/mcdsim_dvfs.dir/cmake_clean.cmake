@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsim_dvfs.dir/adaptive_controller.cc.o"
+  "CMakeFiles/mcdsim_dvfs.dir/adaptive_controller.cc.o.d"
+  "CMakeFiles/mcdsim_dvfs.dir/attack_decay_controller.cc.o"
+  "CMakeFiles/mcdsim_dvfs.dir/attack_decay_controller.cc.o.d"
+  "CMakeFiles/mcdsim_dvfs.dir/dvfs_driver.cc.o"
+  "CMakeFiles/mcdsim_dvfs.dir/dvfs_driver.cc.o.d"
+  "CMakeFiles/mcdsim_dvfs.dir/hardware_cost.cc.o"
+  "CMakeFiles/mcdsim_dvfs.dir/hardware_cost.cc.o.d"
+  "CMakeFiles/mcdsim_dvfs.dir/pid_controller.cc.o"
+  "CMakeFiles/mcdsim_dvfs.dir/pid_controller.cc.o.d"
+  "CMakeFiles/mcdsim_dvfs.dir/signal_fsm.cc.o"
+  "CMakeFiles/mcdsim_dvfs.dir/signal_fsm.cc.o.d"
+  "CMakeFiles/mcdsim_dvfs.dir/vf_curve.cc.o"
+  "CMakeFiles/mcdsim_dvfs.dir/vf_curve.cc.o.d"
+  "libmcdsim_dvfs.a"
+  "libmcdsim_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsim_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

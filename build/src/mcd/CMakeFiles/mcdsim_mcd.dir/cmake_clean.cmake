@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsim_mcd.dir/clock_domain.cc.o"
+  "CMakeFiles/mcdsim_mcd.dir/clock_domain.cc.o.d"
+  "libmcdsim_mcd.a"
+  "libmcdsim_mcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsim_mcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mcdsim_mcd.
+# This may be replaced when dependencies are built.

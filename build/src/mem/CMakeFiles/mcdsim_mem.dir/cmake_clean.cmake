@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsim_mem.dir/cache.cc.o"
+  "CMakeFiles/mcdsim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/mcdsim_mem.dir/memory_system.cc.o"
+  "CMakeFiles/mcdsim_mem.dir/memory_system.cc.o.d"
+  "libmcdsim_mem.a"
+  "libmcdsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

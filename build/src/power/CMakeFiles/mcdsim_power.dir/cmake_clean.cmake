@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsim_power.dir/energy_model.cc.o"
+  "CMakeFiles/mcdsim_power.dir/energy_model.cc.o.d"
+  "libmcdsim_power.a"
+  "libmcdsim_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsim_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/mcdsim_sim.dir/event_queue.cc.o.d"
+  "libmcdsim_sim.a"
+  "libmcdsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsim_spectrum.dir/fft.cc.o"
+  "CMakeFiles/mcdsim_spectrum.dir/fft.cc.o.d"
+  "CMakeFiles/mcdsim_spectrum.dir/psd.cc.o"
+  "CMakeFiles/mcdsim_spectrum.dir/psd.cc.o.d"
+  "libmcdsim_spectrum.a"
+  "libmcdsim_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsim_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

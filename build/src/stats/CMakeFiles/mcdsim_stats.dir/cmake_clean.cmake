@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsim_stats.dir/time_series.cc.o"
+  "CMakeFiles/mcdsim_stats.dir/time_series.cc.o.d"
+  "libmcdsim_stats.a"
+  "libmcdsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcdsim_stats.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmarks.cc" "src/workload/CMakeFiles/mcdsim_workload.dir/benchmarks.cc.o" "gcc" "src/workload/CMakeFiles/mcdsim_workload.dir/benchmarks.cc.o.d"
+  "/root/repo/src/workload/inst.cc" "src/workload/CMakeFiles/mcdsim_workload.dir/inst.cc.o" "gcc" "src/workload/CMakeFiles/mcdsim_workload.dir/inst.cc.o.d"
+  "/root/repo/src/workload/phase_generator.cc" "src/workload/CMakeFiles/mcdsim_workload.dir/phase_generator.cc.o" "gcc" "src/workload/CMakeFiles/mcdsim_workload.dir/phase_generator.cc.o.d"
+  "/root/repo/src/workload/trace_file.cc" "src/workload/CMakeFiles/mcdsim_workload.dir/trace_file.cc.o" "gcc" "src/workload/CMakeFiles/mcdsim_workload.dir/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcdsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdsim_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/mcdsim_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/mcdsim_workload.dir/inst.cc.o"
+  "CMakeFiles/mcdsim_workload.dir/inst.cc.o.d"
+  "CMakeFiles/mcdsim_workload.dir/phase_generator.cc.o"
+  "CMakeFiles/mcdsim_workload.dir/phase_generator.cc.o.d"
+  "CMakeFiles/mcdsim_workload.dir/trace_file.cc.o"
+  "CMakeFiles/mcdsim_workload.dir/trace_file.cc.o.d"
+  "libmcdsim_workload.a"
+  "libmcdsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/arch/test_branch_predictor.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_branch_predictor.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_completion_table.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_completion_table.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_fu_pool.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_fu_pool.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_issue_queue.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_issue_queue.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_rob.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_rob.cc.o.d"
+  "test_arch"
+  "test_arch.pdb"
+  "test_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control.dir/control/test_model.cc.o"
+  "CMakeFiles/test_control.dir/control/test_model.cc.o.d"
+  "CMakeFiles/test_control.dir/control/test_plant.cc.o"
+  "CMakeFiles/test_control.dir/control/test_plant.cc.o.d"
+  "CMakeFiles/test_control.dir/control/test_signals.cc.o"
+  "CMakeFiles/test_control.dir/control/test_signals.cc.o.d"
+  "test_control"
+  "test_control.pdb"
+  "test_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_config_variants.cc.o"
+  "CMakeFiles/test_core.dir/core/test_config_variants.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_processor.cc.o"
+  "CMakeFiles/test_core.dir/core/test_processor.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cc.o"
+  "CMakeFiles/test_core.dir/core/test_report.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_runner.cc.o"
+  "CMakeFiles/test_core.dir/core/test_runner.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvfs.dir/dvfs/test_adaptive.cc.o"
+  "CMakeFiles/test_dvfs.dir/dvfs/test_adaptive.cc.o.d"
+  "CMakeFiles/test_dvfs.dir/dvfs/test_attack_decay.cc.o"
+  "CMakeFiles/test_dvfs.dir/dvfs/test_attack_decay.cc.o.d"
+  "CMakeFiles/test_dvfs.dir/dvfs/test_dvfs_driver.cc.o"
+  "CMakeFiles/test_dvfs.dir/dvfs/test_dvfs_driver.cc.o.d"
+  "CMakeFiles/test_dvfs.dir/dvfs/test_hardware_cost.cc.o"
+  "CMakeFiles/test_dvfs.dir/dvfs/test_hardware_cost.cc.o.d"
+  "CMakeFiles/test_dvfs.dir/dvfs/test_pid.cc.o"
+  "CMakeFiles/test_dvfs.dir/dvfs/test_pid.cc.o.d"
+  "CMakeFiles/test_dvfs.dir/dvfs/test_signal_fsm.cc.o"
+  "CMakeFiles/test_dvfs.dir/dvfs/test_signal_fsm.cc.o.d"
+  "CMakeFiles/test_dvfs.dir/dvfs/test_vf_curve.cc.o"
+  "CMakeFiles/test_dvfs.dir/dvfs/test_vf_curve.cc.o.d"
+  "test_dvfs"
+  "test_dvfs.pdb"
+  "test_dvfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcd.dir/mcd/test_clock_domain.cc.o"
+  "CMakeFiles/test_mcd.dir/mcd/test_clock_domain.cc.o.d"
+  "CMakeFiles/test_mcd.dir/mcd/test_sync_interface.cc.o"
+  "CMakeFiles/test_mcd.dir/mcd/test_sync_interface.cc.o.d"
+  "test_mcd"
+  "test_mcd.pdb"
+  "test_mcd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_cache.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_cache_reference.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache_reference.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_memory_system.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_memory_system.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectrum.dir/spectrum/test_fft.cc.o"
+  "CMakeFiles/test_spectrum.dir/spectrum/test_fft.cc.o.d"
+  "CMakeFiles/test_spectrum.dir/spectrum/test_psd.cc.o"
+  "CMakeFiles/test_spectrum.dir/spectrum/test_psd.cc.o.d"
+  "test_spectrum"
+  "test_spectrum.pdb"
+  "test_spectrum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
