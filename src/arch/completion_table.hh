@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "common/types.hh"
 #include "mcd/clock_domain.hh"
 
@@ -30,8 +30,8 @@ class CompletionTable
     explicit CompletionTable(std::size_t capacity = 1024)
         : ring(capacity)
     {
-        mcd_assert(capacity != 0 && (capacity & (capacity - 1)) == 0,
-                   "completion table capacity must be a power of 2");
+        MCDSIM_CHECK(capacity != 0 && (capacity & (capacity - 1)) == 0,
+                     "completion table capacity must be a power of 2");
     }
 
     /** Register instruction @p seq as in flight (not yet complete). */
@@ -49,8 +49,8 @@ class CompletionTable
     complete(InstSeqNum seq, Tick when)
     {
         Entry &e = ring[seq & (ring.size() - 1)];
-        mcd_assert(e.seq == seq, "completion of evicted seq %llu",
-                   static_cast<unsigned long long>(seq));
+        MCDSIM_CHECK(e.seq == seq, "completion of evicted seq %llu",
+                     static_cast<unsigned long long>(seq));
         e.completeTime = when;
     }
 

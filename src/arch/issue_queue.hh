@@ -18,6 +18,7 @@
 #include <string>
 
 #include "arch/dyn_inst.hh"
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -31,7 +32,7 @@ class IssueQueue
     IssueQueue(std::string queue_name, std::uint32_t capacity)
         : _name(std::move(queue_name)), cap(capacity)
     {
-        mcd_assert(capacity != 0, "zero-capacity issue queue");
+        MCDSIM_CHECK(capacity != 0, "zero-capacity issue queue");
     }
 
     bool full() const { return entries.size() >= cap; }
@@ -44,8 +45,11 @@ class IssueQueue
     void
     insert(DynInst *inst)
     {
-        mcd_assert(!full(), "%s overflow", _name.c_str());
+        MCDSIM_CHECK(!full(), "%s overflow", _name.c_str());
         entries.push_back(inst);
+        MCDSIM_INVARIANT(entries.size() <= cap,
+                         "%s occupancy %zu exceeds capacity %u",
+                         _name.c_str(), entries.size(), cap);
         if (entries.size() > _maxOccupancy)
             _maxOccupancy = entries.size();
     }

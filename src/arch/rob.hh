@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "arch/dyn_inst.hh"
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace mcd
 {
@@ -26,7 +26,7 @@ class Rob
     explicit Rob(std::uint32_t capacity)
         : slots(capacity)
     {
-        mcd_assert(capacity != 0, "zero-capacity ROB");
+        MCDSIM_CHECK(capacity != 0, "zero-capacity ROB");
     }
 
     bool full() const { return count == slots.size(); }
@@ -38,11 +38,12 @@ class Rob
     DynInst *
     allocate()
     {
-        mcd_assert(!full(), "ROB overflow");
+        MCDSIM_CHECK(!full(), "ROB overflow");
         DynInst *inst = &slots[tail];
         *inst = DynInst{};
         tail = (tail + 1) % slots.size();
         ++count;
+        checkInvariant();
         return inst;
     }
 
@@ -50,7 +51,7 @@ class Rob
     DynInst *
     head()
     {
-        mcd_assert(!empty(), "ROB head of empty buffer");
+        MCDSIM_CHECK(!empty(), "ROB head of empty buffer");
         return &slots[headIdx];
     }
 
@@ -58,16 +59,31 @@ class Rob
     void
     retireHead()
     {
-        mcd_assert(!empty(), "ROB retire of empty buffer");
+        MCDSIM_CHECK(!empty(), "ROB retire of empty buffer");
         headIdx = (headIdx + 1) % slots.size();
         --count;
         ++retired;
+        checkInvariant();
     }
 
     /** Instructions retired since construction. */
     std::uint64_t retiredCount() const { return retired; }
 
   private:
+    /** Ring consistency: occupancy bound and head/tail agreement. */
+    void
+    checkInvariant() const
+    {
+        MCDSIM_INVARIANT(count <= slots.size(),
+                         "ROB occupancy %zu exceeds capacity %zu", count,
+                         slots.size());
+        MCDSIM_INVARIANT(headIdx < slots.size() && tail < slots.size(),
+                         "ROB indices out of range");
+        MCDSIM_INVARIANT((headIdx + count) % slots.size() ==
+                             tail % slots.size(),
+                         "ROB head/tail disagree with occupancy");
+    }
+
     std::vector<DynInst> slots;
     std::size_t headIdx = 0;
     std::size_t tail = 0;

@@ -1,0 +1,98 @@
+#include "common/check.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcd
+{
+
+namespace
+{
+
+void
+defaultCheckFailureHandler(const CheckContext &ctx)
+{
+    std::fprintf(stderr, "panic: %s\n", renderCheckFailure(ctx).c_str());
+    std::fflush(stderr);
+}
+
+CheckFailureHandler activeHandler = &defaultCheckFailureHandler;
+
+} // namespace
+
+std::string
+renderCheckFailure(const CheckContext &ctx)
+{
+    std::string out(ctx.kind);
+    out += " '";
+    out += ctx.cond;
+    out += "' failed at ";
+    out += ctx.file;
+    out += ':';
+    out += std::to_string(ctx.line);
+    if (!ctx.message.empty()) {
+        out += ": ";
+        out += ctx.message;
+    }
+    return out;
+}
+
+CheckFailureHandler
+setCheckFailureHandler(CheckFailureHandler handler)
+{
+    CheckFailureHandler prev = activeHandler;
+    activeHandler = handler ? handler : &defaultCheckFailureHandler;
+    return prev;
+}
+
+void
+throwingCheckFailureHandler(const CheckContext &ctx)
+{
+    throw CheckFailure(ctx);
+}
+
+namespace detail
+{
+
+std::string
+formatCheckMessage(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    }
+    va_end(ap2);
+    return out;
+}
+
+void
+checkFailed(const char *kind, const char *cond, const char *file, int line,
+            std::string message)
+{
+    const CheckContext ctx{kind, cond, file, line, std::move(message)};
+    activeHandler(ctx);
+    // The handler either threw (test mode) or reported; a violated
+    // contract can never be survived, so returning means abort.
+    std::abort();
+}
+
+std::string
+composeMessage(std::string operands, const std::string &extra)
+{
+    if (!extra.empty()) {
+        operands += ": ";
+        operands += extra;
+    }
+    return operands;
+}
+
+} // namespace detail
+} // namespace mcd

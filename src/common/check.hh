@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Contract macros for mcdsim.
+ *
+ * Three tiers (see DESIGN.md "Correctness tooling"):
+ *
+ * MCDSIM_CHECK(cond, fmt...)     — precondition/postcondition that must
+ *                                  hold in every build, including
+ *                                  RelWithDebInfo/NDEBUG. Failure is a
+ *                                  simulator bug: formatted diagnostic
+ *                                  with file:line, then the installed
+ *                                  failure handler (abort by default).
+ * MCDSIM_DCHECK(cond, fmt...)    — debug-only check for expensive or
+ *                                  hot-path validation; compiles to a
+ *                                  use-only no-op under NDEBUG.
+ * MCDSIM_INVARIANT(cond, fmt...) — always-on class/structure-level
+ *                                  consistency check (heap order, ring
+ *                                  occupancy, controller clamps, ...).
+ *                                  Same runtime behavior as CHECK but
+ *                                  tagged "invariant" in diagnostics.
+ *
+ * Comparison forms MCDSIM_CHECK_EQ/NE/LT/LE/GT/GE (and MCDSIM_DCHECK_*)
+ * additionally capture and print both operand values. Operands are
+ * re-evaluated on the failure path, so they must be side-effect free.
+ *
+ * Tests install a throwing failure handler (ScopedCheckThrower) so
+ * contract violations surface as catchable CheckFailure exceptions
+ * instead of process death.
+ */
+
+#ifndef MCDSIM_COMMON_CHECK_HH
+#define MCDSIM_COMMON_CHECK_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mcd
+{
+
+/** Everything a failure handler learns about a failed contract. */
+struct CheckContext
+{
+    const char *kind;    ///< "check", "dcheck", or "invariant"
+    const char *cond;    ///< stringified condition
+    const char *file;
+    int line;
+    std::string message; ///< formatted user message, may be empty
+};
+
+/** "<kind> '<cond>' failed at <file>:<line>: <message>" */
+std::string renderCheckFailure(const CheckContext &ctx);
+
+/**
+ * Called when a contract fails. The handler may throw (test mode); if
+ * it returns, the process aborts — there is no way to continue past a
+ * violated invariant.
+ */
+using CheckFailureHandler = void (*)(const CheckContext &);
+
+/** Install @p handler and return the previous one; nullptr restores
+ *  the default print-and-abort handler. Not thread-safe. */
+CheckFailureHandler setCheckFailureHandler(CheckFailureHandler handler);
+
+/** Thrown by the test-mode failure handler. */
+class CheckFailure : public std::runtime_error
+{
+  public:
+    explicit CheckFailure(const CheckContext &ctx)
+        : std::runtime_error(renderCheckFailure(ctx)), _kind(ctx.kind),
+          _condition(ctx.cond), _file(ctx.file), _line(ctx.line),
+          _message(ctx.message)
+    {}
+
+    const std::string &kind() const { return _kind; }
+    const std::string &condition() const { return _condition; }
+    const std::string &file() const { return _file; }
+    int line() const { return _line; }
+    const std::string &message() const { return _message; }
+
+  private:
+    std::string _kind;
+    std::string _condition;
+    std::string _file;
+    int _line;
+    std::string _message;
+};
+
+/** Handler that throws CheckFailure; installable directly. */
+void throwingCheckFailureHandler(const CheckContext &ctx);
+
+/** RAII: route contract failures into CheckFailure for this scope. */
+class ScopedCheckThrower
+{
+  public:
+    ScopedCheckThrower()
+        : prev(setCheckFailureHandler(&throwingCheckFailureHandler))
+    {}
+    ~ScopedCheckThrower() { setCheckFailureHandler(prev); }
+
+    ScopedCheckThrower(const ScopedCheckThrower &) = delete;
+    ScopedCheckThrower &operator=(const ScopedCheckThrower &) = delete;
+
+  private:
+    CheckFailureHandler prev;
+};
+
+namespace detail
+{
+
+/** printf-format the user message half of a diagnostic. */
+std::string formatCheckMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** No-message overload so the macros work without a format string. */
+inline std::string formatCheckMessage() { return {}; }
+
+/** Dispatch to the installed handler; abort if it returns. */
+[[noreturn]] void checkFailed(const char *kind, const char *cond,
+                              const char *file, int line,
+                              std::string message);
+
+/** "with <a> = <va>, <b> = <vb>" for the comparison macros. */
+template <typename A, typename B>
+std::string
+formatOperands(const char *astr, const char *bstr, const A &a, const B &b)
+{
+    std::ostringstream os;
+    os << "with " << astr << " = " << a << ", " << bstr << " = " << b;
+    return os.str();
+}
+
+/** Join operand capture and optional user message. */
+std::string composeMessage(std::string operands, const std::string &extra);
+
+/** Swallow DCHECK message arguments in NDEBUG builds. */
+template <typename... T>
+inline void
+sinkUnused(T &&...)
+{}
+
+} // namespace detail
+} // namespace mcd
+
+#define MCDSIM_CHECK_IMPL_(kind, cond, ...)                                  \
+    do {                                                                     \
+        if (!(cond)) [[unlikely]]                                            \
+            ::mcd::detail::checkFailed(                                      \
+                kind, #cond, __FILE__, __LINE__,                             \
+                ::mcd::detail::formatCheckMessage(                           \
+                    __VA_OPT__(__VA_ARGS__)));                               \
+    } while (0)
+
+#define MCDSIM_CHECK_OP_IMPL_(kind, op, a, b, ...)                           \
+    do {                                                                     \
+        if (!((a)op(b))) [[unlikely]]                                        \
+            ::mcd::detail::checkFailed(                                      \
+                kind, #a " " #op " " #b, __FILE__, __LINE__,                 \
+                ::mcd::detail::composeMessage(                               \
+                    ::mcd::detail::formatOperands(#a, #b, (a), (b)),         \
+                    ::mcd::detail::formatCheckMessage(                       \
+                        __VA_OPT__(__VA_ARGS__))));                          \
+    } while (0)
+
+#define MCDSIM_CHECK(cond, ...)                                              \
+    MCDSIM_CHECK_IMPL_("check", cond, __VA_ARGS__)
+#define MCDSIM_INVARIANT(cond, ...)                                          \
+    MCDSIM_CHECK_IMPL_("invariant", cond, __VA_ARGS__)
+
+#define MCDSIM_CHECK_EQ(a, b, ...) MCDSIM_CHECK_OP_IMPL_("check", ==, a, b, __VA_ARGS__)
+#define MCDSIM_CHECK_NE(a, b, ...) MCDSIM_CHECK_OP_IMPL_("check", !=, a, b, __VA_ARGS__)
+#define MCDSIM_CHECK_LT(a, b, ...) MCDSIM_CHECK_OP_IMPL_("check", <, a, b, __VA_ARGS__)
+#define MCDSIM_CHECK_LE(a, b, ...) MCDSIM_CHECK_OP_IMPL_("check", <=, a, b, __VA_ARGS__)
+#define MCDSIM_CHECK_GT(a, b, ...) MCDSIM_CHECK_OP_IMPL_("check", >, a, b, __VA_ARGS__)
+#define MCDSIM_CHECK_GE(a, b, ...) MCDSIM_CHECK_OP_IMPL_("check", >=, a, b, __VA_ARGS__)
+
+#ifdef NDEBUG
+#define MCDSIM_DCHECK_IS_ON 0
+#define MCDSIM_DCHECK_IMPL_(cond, ...)                                       \
+    do {                                                                     \
+        if (false) {                                                         \
+            static_cast<void>(cond);                                         \
+            ::mcd::detail::sinkUnused(__VA_ARGS__);                          \
+        }                                                                    \
+    } while (0)
+#define MCDSIM_DCHECK(cond, ...) MCDSIM_DCHECK_IMPL_(cond, __VA_ARGS__)
+#define MCDSIM_DCHECK_EQ(a, b, ...) MCDSIM_DCHECK_IMPL_((a) == (b), __VA_ARGS__)
+#define MCDSIM_DCHECK_NE(a, b, ...) MCDSIM_DCHECK_IMPL_((a) != (b), __VA_ARGS__)
+#define MCDSIM_DCHECK_LT(a, b, ...) MCDSIM_DCHECK_IMPL_((a) < (b), __VA_ARGS__)
+#define MCDSIM_DCHECK_LE(a, b, ...) MCDSIM_DCHECK_IMPL_((a) <= (b), __VA_ARGS__)
+#define MCDSIM_DCHECK_GT(a, b, ...) MCDSIM_DCHECK_IMPL_((a) > (b), __VA_ARGS__)
+#define MCDSIM_DCHECK_GE(a, b, ...) MCDSIM_DCHECK_IMPL_((a) >= (b), __VA_ARGS__)
+#else
+#define MCDSIM_DCHECK_IS_ON 1
+#define MCDSIM_DCHECK(cond, ...)                                             \
+    MCDSIM_CHECK_IMPL_("dcheck", cond, __VA_ARGS__)
+#define MCDSIM_DCHECK_EQ(a, b, ...) MCDSIM_CHECK_OP_IMPL_("dcheck", ==, a, b, __VA_ARGS__)
+#define MCDSIM_DCHECK_NE(a, b, ...) MCDSIM_CHECK_OP_IMPL_("dcheck", !=, a, b, __VA_ARGS__)
+#define MCDSIM_DCHECK_LT(a, b, ...) MCDSIM_CHECK_OP_IMPL_("dcheck", <, a, b, __VA_ARGS__)
+#define MCDSIM_DCHECK_LE(a, b, ...) MCDSIM_CHECK_OP_IMPL_("dcheck", <=, a, b, __VA_ARGS__)
+#define MCDSIM_DCHECK_GT(a, b, ...) MCDSIM_CHECK_OP_IMPL_("dcheck", >, a, b, __VA_ARGS__)
+#define MCDSIM_DCHECK_GE(a, b, ...) MCDSIM_CHECK_OP_IMPL_("dcheck", >=, a, b, __VA_ARGS__)
+#endif
+
+#endif // MCDSIM_COMMON_CHECK_HH

@@ -21,21 +21,6 @@ vreport(const char *tag, const char *fmt, va_list ap)
 } // namespace
 
 void
-panicAssert(const char *cond, const char *file, int line, const char *fmt,
-            ...)
-{
-    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: ", cond,
-                 file, line);
-    va_list ap;
-    va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
-    va_end(ap);
-    std::fprintf(stderr, "\n");
-    std::fflush(stderr);
-    std::abort();
-}
-
-void
 panic(const char *fmt, ...)
 {
     va_list ap;

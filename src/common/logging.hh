@@ -9,6 +9,8 @@
  *            with status 1.
  * warn()   — something is suspicious but the run continues.
  * inform() — status information for the user.
+ *
+ * Contract checks (MCDSIM_CHECK and friends) live in common/check.hh.
  */
 
 #ifndef MCDSIM_COMMON_LOGGING_HH
@@ -33,21 +35,6 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Print an informational message to stderr and continue. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
-
-/** Implementation detail of mcd_assert. */
-[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
-                              const char *fmt, ...)
-    __attribute__((format(printf, 4, 5)));
-
-/**
- * Assert-like helper for invariants that must also hold in release
- * builds. Panics with location information when @p cond is false.
- */
-#define mcd_assert(cond, ...)                                               \
-    do {                                                                    \
-        if (!(cond))                                                        \
-            ::mcd::panicAssert(#cond, __FILE__, __LINE__, __VA_ARGS__);     \
-    } while (0)
 
 } // namespace mcd
 

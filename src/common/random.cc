@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace mcd
 {
@@ -67,7 +67,7 @@ Rng::uniform(double lo, double hi)
 std::uint64_t
 Rng::below(std::uint64_t n)
 {
-    mcd_assert(n > 0, "Rng::below(0)");
+    MCDSIM_CHECK(n > 0, "Rng::below(0)");
     // Lemire-style rejection-free multiply-shift is fine here; the
     // bias for n << 2^64 is negligible for simulation purposes.
     return static_cast<std::uint64_t>(
@@ -77,7 +77,7 @@ Rng::below(std::uint64_t n)
 std::int64_t
 Rng::range(std::int64_t lo, std::int64_t hi)
 {
-    mcd_assert(lo <= hi, "Rng::range with lo > hi");
+    MCDSIM_CHECK(lo <= hi, "Rng::range with lo > hi");
     const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
     return lo + static_cast<std::int64_t>(below(span));
 }

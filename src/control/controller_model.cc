@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace mcd
 {
@@ -64,12 +64,12 @@ analyze(const ModelParams &params)
 DelayRatioBounds
 delayRatioForDamping(const ModelParams &params, double xi_lo, double xi_hi)
 {
-    mcd_assert(xi_lo > 0.0 && xi_hi >= xi_lo, "bad damping range");
+    MCDSIM_CHECK(xi_lo > 0.0 && xi_hi >= xi_lo, "bad damping range");
     // With shared constants, Km = c/Tm0 and Kl = c/Tl0, so
     // xi^2 = Kl^2/(4 Km) = Kl * (Tm0/Tl0) / 4, hence
     // Tm0/Tl0 = 4 xi^2 / Kl.
     const double kl = params.kl();
-    mcd_assert(kl > 0.0, "Kl must be positive");
+    MCDSIM_CHECK(kl > 0.0, "Kl must be positive");
     return DelayRatioBounds{4.0 * xi_lo * xi_lo / kl,
                             4.0 * xi_hi * xi_hi / kl};
 }
@@ -97,7 +97,7 @@ Trajectory
 simulateLinear(const ModelParams &params, const WorkloadFn &lambda,
                double q0, double mu0, double duration, double dt)
 {
-    mcd_assert(dt > 0.0 && duration > 0.0, "bad integration window");
+    MCDSIM_CHECK(dt > 0.0 && duration > 0.0, "bad integration window");
     const double km = params.km();
     const double kl = params.kl();
     const double gamma = params.gamma;
@@ -133,7 +133,7 @@ simulateNonlinear(const ModelParams &params, const WorkloadFn &lambda,
                   double q0, double f0, double duration, double dt,
                   double q_max, double f_min, double f_max)
 {
-    mcd_assert(dt > 0.0 && duration > 0.0, "bad integration window");
+    MCDSIM_CHECK(dt > 0.0 && duration > 0.0, "bad integration window");
     const double gamma = params.gamma;
     const double qref = params.qref;
 

@@ -19,6 +19,7 @@
 #ifndef MCDSIM_CORE_MCDSIM_HH
 #define MCDSIM_CORE_MCDSIM_HH
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/types.hh"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace mcd
@@ -53,6 +54,11 @@ AdaptiveController::makeDecision(int direction, std::uint32_t steps,
         static_cast<double>(direction) * static_cast<double>(steps) *
         vf.stepSize();
     const Hertz target = vf.clampFrequency(current_hz + delta_hz);
+    // Table 1 clamp: the FSMs may request any number of steps, but the
+    // commanded frequency must stay inside [f_min, f_max].
+    MCDSIM_INVARIANT(target >= vf.fMin() && target <= vf.fMax(),
+                     "adaptive target %g outside [%g, %g]", target,
+                     vf.fMin(), vf.fMax());
     if (direction > 0)
         ++_stats.actionsUp;
     else

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace mcd
@@ -54,6 +55,9 @@ DvfsDriver::sampleTick(Tick now, double queue_occupancy)
         return;
 
     target = new_target;
+    MCDSIM_INVARIANT(target >= vf.fMin() && target <= vf.fMax(),
+                     "ramp target %g outside [%g, %g]", target, vf.fMin(),
+                     vf.fMax());
     if (target != current) {
         ++transitions;
         if (mdl.stallTime > 0) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace mcd
@@ -47,6 +48,11 @@ PidController::sample(double queue_occupancy, Hertz current_hz,
     // PID output is in "fraction of frequency range per interval".
     const Hertz range = vf.fMax() - vf.fMin();
     const Hertz target = vf.clampFrequency(current_hz + delta * range);
+    // Table 1 clamp: every commanded frequency stays inside
+    // [f_min, f_max]; the stability argument (Section 4) assumes it.
+    MCDSIM_INVARIANT(target >= vf.fMin() && target <= vf.fMax(),
+                     "PID target %g outside [%g, %g]", target, vf.fMin(),
+                     vf.fMax());
     if (std::abs(target - current_hz) < 0.5 * vf.stepSize())
         return DvfsDecision{};
 

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace mcd
 {
@@ -28,8 +28,8 @@ SignalFsm::incrementFor(double signal, double f_norm, bool down) const
 FsmTrigger
 SignalFsm::sample(double signal, double f_norm)
 {
-    mcd_assert(f_norm > 0.0 && f_norm <= 1.0 + 1e-9,
-               "normalized frequency %g out of range", f_norm);
+    MCDSIM_CHECK(f_norm > 0.0 && f_norm <= 1.0 + 1e-9,
+                 "normalized frequency %g out of range", f_norm);
 
     const bool above = signal > cfg.deviationWindow;
     const bool below = signal < -cfg.deviationWindow;

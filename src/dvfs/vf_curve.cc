@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace mcd
@@ -20,6 +21,16 @@ VfCurve::VfCurve(const Config &config)
     if (cfg.steps == 0)
         fatal("VfCurve: step count must be nonzero");
     stepHz = (cfg.fMax - cfg.fMin) / static_cast<double>(cfg.steps);
+    MCDSIM_INVARIANT(stepHz > 0.0, "non-positive frequency step %g", stepHz);
+    // The controllers assume the discrete V/F table is monotone: a
+    // higher step index never means a lower frequency or voltage.
+    for (std::uint32_t i = 1; i <= cfg.steps; ++i) {
+        MCDSIM_INVARIANT(frequencyAt(i) > frequencyAt(i - 1),
+                         "VF curve frequency not increasing at step %u", i);
+        MCDSIM_INVARIANT(voltageAt(frequencyAt(i)) >=
+                             voltageAt(frequencyAt(i - 1)),
+                         "VF curve voltage not monotone at step %u", i);
+    }
 }
 
 Hertz

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace mcd
@@ -31,12 +32,15 @@ ClockDomain::ClockDomain(EventQueue &queue, const Config &config)
 {
     if (hz <= 0.0)
         fatal("domain %s: non-positive initial frequency", name());
+    MCDSIM_INVARIANT(periodTicks > 0,
+                     "domain %s: initial frequency %g Hz yields a zero-tick "
+                     "period", name(), hz);
 }
 
 void
 ClockDomain::start(std::function<void()> on_edge)
 {
-    mcd_assert(!started, "domain %s started twice", name());
+    MCDSIM_CHECK(!started, "domain %s started twice", name());
     started = true;
     onEdge = std::move(on_edge);
     lastIdealEdge = eq.now();
@@ -80,11 +84,16 @@ ClockDomain::edge()
 void
 ClockDomain::applyOperatingPoint(Hertz f, Volt v)
 {
-    mcd_assert(f > 0.0, "domain %s: non-positive frequency", name());
+    MCDSIM_CHECK(f > 0.0, "domain %s: non-positive frequency", name());
     accrueVoltageTime();
     hz = f;
     volts = v;
     periodTicks = periodFromFrequency(f);
+    // A zero-tick period would wedge the event loop at a single
+    // instant, re-scheduling edges forever without advancing time.
+    MCDSIM_INVARIANT(periodTicks > 0,
+                     "domain %s: frequency %g Hz yields a zero-tick period",
+                     name(), f);
     // The already-scheduled next edge keeps its time (the old period
     // was in force when it was launched); the new period applies from
     // the edge after it, which matches hardware where the new clock

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace mcd
@@ -12,13 +13,12 @@ Event::~Event() = default;
 void
 EventQueue::schedule(Event *ev, Tick when)
 {
-    mcd_assert(ev != nullptr, "scheduling null event");
-    if (ev->_scheduled)
-        panic("event '%s' double-scheduled", ev->name());
-    if (when < _now)
-        panic("event '%s' scheduled in the past (%llu < %llu)", ev->name(),
-              static_cast<unsigned long long>(when),
-              static_cast<unsigned long long>(_now));
+    MCDSIM_CHECK(ev != nullptr, "scheduling null event");
+    MCDSIM_CHECK(!ev->_scheduled, "event '%s' double-scheduled", ev->name());
+    MCDSIM_CHECK(when >= _now,
+                 "event '%s' scheduled in the past (%llu < %llu)", ev->name(),
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(_now));
 
     ev->_when = when;
     ev->_seq = nextSeq++;
@@ -46,7 +46,16 @@ EventQueue::step()
     if (heap.empty())
         return false;
 
+    MCDSIM_DCHECK(heapOrdered(), "event queue heap order violated");
     Entry top = popTop();
+    // Ordering monotonicity: the documented determinism guarantee
+    // (pure function of config and seed) rests on time never flowing
+    // backwards through the dispatch loop.
+    MCDSIM_INVARIANT(top.when >= _now,
+                     "event '%s' dispatched out of order (%llu < %llu)",
+                     top.ev->name(),
+                     static_cast<unsigned long long>(top.when),
+                     static_cast<unsigned long long>(_now));
     Event *ev = top.ev;
     _now = top.when;
     ev->_scheduled = false;
@@ -76,6 +85,16 @@ Tick
 EventQueue::nextEventTick() const
 {
     return heap.empty() ? maxTick : heap.front().when;
+}
+
+bool
+EventQueue::heapOrdered() const
+{
+    for (std::size_t i = 1; i < heap.size(); ++i) {
+        if (heap[(i - 1) / 2] > heap[i])
+            return false;
+    }
+    return true;
 }
 
 void

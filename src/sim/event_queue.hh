@@ -167,6 +167,9 @@ class EventQueue
     void siftDown(std::size_t i);
     Entry popTop();
 
+    /** O(n) heap-property validation; used by debug-build invariants. */
+    bool heapOrdered() const;
+
     std::vector<Entry> heap;
     Tick _now = 0;
     std::uint64_t nextSeq = 0;

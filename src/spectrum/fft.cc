@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace mcd
 {
@@ -20,7 +20,7 @@ void
 fft(std::vector<std::complex<double>> &data, bool inverse)
 {
     const std::size_t n = data.size();
-    mcd_assert(n != 0 && (n & (n - 1)) == 0, "FFT size must be a power of 2");
+    MCDSIM_CHECK(n != 0 && (n & (n - 1)) == 0, "FFT size must be a power of 2");
 
     // Bit-reversal permutation.
     for (std::size_t i = 1, j = 0; i < n; ++i) {

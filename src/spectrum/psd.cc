@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "spectrum/fft.hh"
 
 namespace mcd
@@ -27,7 +27,7 @@ accumulateOneSided(const std::vector<std::complex<double>> &spec,
 {
     const std::size_t m = spec.size();
     const std::size_t half = m / 2;
-    mcd_assert(out.size() == half, "mis-sized accumulation buffer");
+    MCDSIM_CHECK(out.size() == half, "mis-sized accumulation buffer");
     for (std::size_t k = 1; k <= half; ++k) {
         const double p = std::norm(spec[k]) / (sample_rate * norm);
         // One-sided: double everything except the Nyquist bin.
@@ -155,7 +155,7 @@ removeLinearTrend(std::vector<double> &x)
 VarianceSpectrum
 periodogram(std::vector<double> x, double sample_rate)
 {
-    mcd_assert(sample_rate > 0.0, "non-positive sample rate");
+    MCDSIM_CHECK(sample_rate > 0.0, "non-positive sample rate");
     if (x.size() < 2)
         return VarianceSpectrum{sample_rate, {}, {}};
 
@@ -171,7 +171,7 @@ VarianceSpectrum
 welchPsd(const std::vector<double> &x, double sample_rate,
          std::size_t segment_size)
 {
-    mcd_assert(sample_rate > 0.0, "non-positive sample rate");
+    MCDSIM_CHECK(sample_rate > 0.0, "non-positive sample rate");
     if (x.size() < 2)
         return VarianceSpectrum{sample_rate, {}, {}};
 
@@ -225,7 +225,7 @@ VarianceSpectrum
 sineMultitaperPsd(const std::vector<double> &x, double sample_rate,
                   std::size_t tapers)
 {
-    mcd_assert(sample_rate > 0.0, "non-positive sample rate");
+    MCDSIM_CHECK(sample_rate > 0.0, "non-positive sample rate");
     if (x.size() < 2)
         return VarianceSpectrum{sample_rate, {}, {}};
     if (tapers == 0)

@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace mcd
 {
@@ -22,7 +22,7 @@ class Histogram
     Histogram(double lo, double hi, std::size_t bins)
         : _lo(lo), _hi(hi), counts(bins, 0)
     {
-        mcd_assert(hi > lo && bins > 0, "degenerate histogram");
+        MCDSIM_CHECK(hi > lo && bins > 0, "degenerate histogram");
     }
 
     void

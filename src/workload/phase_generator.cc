@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace mcd
@@ -58,7 +59,7 @@ PhaseTraceGenerator::PhaseTraceGenerator(std::string trace_name,
         double weight_sum = 0.0;
         for (const auto &p : specs)
             weight_sum += p.weight;
-        mcd_assert(weight_sum > 0.0, "non-positive phase weights");
+        MCDSIM_CHECK(weight_sum > 0.0, "non-positive phase weights");
         phaseCounts.resize(specs.size());
         std::uint64_t assigned = 0;
         for (std::size_t i = 0; i < specs.size(); ++i) {
