@@ -12,8 +12,9 @@
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("ABLATION A2", "Delay ratio T_m0 / T_l0");
 
     RunOptions opts;
@@ -21,18 +22,33 @@ main()
 
     const std::vector<std::string> names = {"mpeg2_dec", "epic_decode",
                                             "gzip"};
+    const std::vector<double> ratios = {0.5, 2.0, 6.25, 8.0, 32.0};
     std::printf("%-12s %8s | %8s %8s %8s %12s\n", "benchmark", "ratio",
                 "E-sav%", "P-deg%", "EDP+%", "actions");
     mcdbench::rule(66);
 
+    const auto shared = shareOptions(opts);
+    std::vector<std::shared_ptr<const RunOptions>> ratio_opts;
+    for (double ratio : ratios) {
+        RunOptions o = opts;
+        o.config.adaptive.deltaDelay = 8.0;
+        o.config.adaptive.levelDelay = 8.0 * ratio;
+        ratio_opts.push_back(shareOptions(std::move(o)));
+    }
+    std::vector<RunTask> tasks;
+    tasks.reserve(names.size() * (1 + ratios.size()));
     for (const auto &name : names) {
-        const SimResult base = runMcdBaseline(name, opts);
-        for (double ratio : {0.5, 2.0, 6.25, 8.0, 32.0}) {
-            RunOptions o = opts;
-            o.config.adaptive.deltaDelay = 8.0;
-            o.config.adaptive.levelDelay = 8.0 * ratio;
-            const SimResult r =
-                runBenchmark(name, ControllerKind::Adaptive, o);
+        tasks.push_back(mcdBaselineTask(name, shared));
+        for (const auto &ro : ratio_opts)
+            tasks.push_back(schemeTask(name, ControllerKind::Adaptive, ro));
+    }
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
+
+    std::size_t idx = 0;
+    for (const auto &name : names) {
+        const SimResult &base = results[idx++];
+        for (double ratio : ratios) {
+            const SimResult &r = results[idx++];
             const Comparison c = compare(r, base);
             std::uint64_t actions = 0;
             for (const auto &d : r.domains)

@@ -12,8 +12,9 @@
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("ABLATION A1", "Deviation-window size");
 
     // Part 1: spurious-action rate on a noisy queue at reference.
@@ -48,14 +49,33 @@ main()
     mcdbench::rule(52);
     RunOptions opts;
     opts.instructions = mcdbench::runLength(400000);
-    for (const char *name : {"mpeg2_dec", "adpcm_enc"}) {
-        const SimResult base = runMcdBaseline(name, opts);
-        for (double dw : {0.0, 1.0, 3.0}) {
-            RunOptions o = opts;
-            o.config.adaptive.levelDeviationWindow = dw;
-            const SimResult r =
-                runBenchmark(name, ControllerKind::Adaptive, o);
-            const Comparison c = compare(r, base);
+
+    const std::vector<const char *> names = {"mpeg2_dec", "adpcm_enc"};
+    const std::vector<double> windows = {0.0, 1.0, 3.0};
+
+    // Per benchmark: the MCD baseline, then one adaptive run per
+    // window width (each width gets its own shared options copy).
+    const auto shared = shareOptions(opts);
+    std::vector<std::shared_ptr<const RunOptions>> window_opts;
+    for (double dw : windows) {
+        RunOptions o = opts;
+        o.config.adaptive.levelDeviationWindow = dw;
+        window_opts.push_back(shareOptions(std::move(o)));
+    }
+    std::vector<RunTask> tasks;
+    tasks.reserve(names.size() * (1 + windows.size()));
+    for (const char *name : names) {
+        tasks.push_back(mcdBaselineTask(name, shared));
+        for (const auto &wo : window_opts)
+            tasks.push_back(schemeTask(name, ControllerKind::Adaptive, wo));
+    }
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
+
+    std::size_t idx = 0;
+    for (const char *name : names) {
+        const SimResult &base = results[idx++];
+        for (double dw : windows) {
+            const Comparison c = compare(results[idx++], base);
             std::printf("%-12s %6.1f | %8.1f %8.1f %8.1f\n", name, dw,
                         mcdbench::pct(c.energySavings),
                         mcdbench::pct(c.perfDegradation),

@@ -14,8 +14,9 @@
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("ABLATION A5",
                      "4-domain (Semeraro) vs 5-domain "
                      "(Iyer-Marculescu) partition");
@@ -28,27 +29,47 @@ main()
                 "EDP+%");
     mcdbench::rule(72);
 
+    const std::vector<const char *> names = {"epic_decode", "mpeg2_dec",
+                                             "gzip", "swim"};
+
+    // Two options sets (4- and 5-domain substrate); per benchmark and
+    // partition an MCD baseline and an adaptive run.
+    std::shared_ptr<const RunOptions> part_opts[2];
+    for (int five = 0; five <= 1; ++five) {
+        RunOptions o = opts;
+        o.config.fiveDomainPartition = five != 0;
+        part_opts[five] = shareOptions(std::move(o));
+    }
+    std::vector<RunTask> tasks;
+    tasks.reserve(names.size() * 4);
+    for (const char *name : names) {
+        for (int five = 0; five <= 1; ++five) {
+            tasks.push_back(mcdBaselineTask(name, part_opts[five]));
+            tasks.push_back(
+                schemeTask(name, ControllerKind::Adaptive, part_opts[five]));
+        }
+    }
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
+
     double overhead_sum = 0.0;
     int n = 0;
-    for (const char *name : {"epic_decode", "mpeg2_dec", "gzip", "swim"}) {
-        SimResult bases[2];
+    std::size_t idx = 0;
+    for (const char *name : names) {
+        const SimResult *bases[2] = {nullptr, nullptr};
         for (int five = 0; five <= 1; ++five) {
-            RunOptions o = opts;
-            o.config.fiveDomainPartition = five != 0;
-            bases[five] = runMcdBaseline(name, o);
-            const SimResult r =
-                runBenchmark(name, ControllerKind::Adaptive, o);
-            const Comparison c = compare(r, bases[five]);
+            bases[five] = &results[idx++];
+            const SimResult &r = results[idx++];
+            const Comparison c = compare(r, *bases[five]);
             std::printf("%-12s %-8s | %12.3f | %8.1f %8.1f %8.1f\n",
                         name, five ? "5-domain" : "4-domain",
-                        bases[five].seconds() * 1e3,
+                        bases[five]->seconds() * 1e3,
                         mcdbench::pct(c.energySavings),
                         mcdbench::pct(c.perfDegradation),
                         mcdbench::pct(c.edpImprovement));
             std::fflush(stdout);
         }
-        overhead_sum += static_cast<double>(bases[1].wallTicks) /
-                            static_cast<double>(bases[0].wallTicks) -
+        overhead_sum += static_cast<double>(bases[1]->wallTicks) /
+                            static_cast<double>(bases[0]->wallTicks) -
                         1.0;
         ++n;
         mcdbench::rule(72);

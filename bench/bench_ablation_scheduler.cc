@@ -11,8 +11,9 @@
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("ABLATION A3",
                      "Scheduler reconciliation and switch-freeze");
 
@@ -31,18 +32,33 @@ main()
         {"combine + no-freeze", true, false},
         {"sequential + no-freeze", false, false},
     };
+    const std::vector<const char *> names = {"mpeg2_dec", "gcc", "swim"};
+
+    const auto shared = shareOptions(opts);
+    std::vector<std::shared_ptr<const RunOptions>> variant_opts;
+    for (const auto &v : variants) {
+        RunOptions o = opts;
+        o.config.adaptive.combineSimultaneousActions = v.combine;
+        o.config.adaptive.freezeWhileSwitching = v.freeze;
+        variant_opts.push_back(shareOptions(std::move(o)));
+    }
+    std::vector<RunTask> tasks;
+    tasks.reserve(names.size() * (1 + variant_opts.size()));
+    for (const char *name : names) {
+        tasks.push_back(mcdBaselineTask(name, shared));
+        for (const auto &vo : variant_opts)
+            tasks.push_back(schemeTask(name, ControllerKind::Adaptive, vo));
+    }
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
 
     std::printf("%-12s %-28s | %8s %8s %8s %10s\n", "benchmark",
                 "variant", "E-sav%", "P-deg%", "EDP+%", "cancels");
     mcdbench::rule(84);
-    for (const char *name : {"mpeg2_dec", "gcc", "swim"}) {
-        const SimResult base = runMcdBaseline(name, opts);
+    std::size_t idx = 0;
+    for (const char *name : names) {
+        const SimResult &base = results[idx++];
         for (const auto &v : variants) {
-            RunOptions o = opts;
-            o.config.adaptive.combineSimultaneousActions = v.combine;
-            o.config.adaptive.freezeWhileSwitching = v.freeze;
-            const SimResult r =
-                runBenchmark(name, ControllerKind::Adaptive, o);
+            const SimResult &r = results[idx++];
             const Comparison c = compare(r, base);
             std::uint64_t cancels = 0;
             for (const auto &d : r.domains)

@@ -13,8 +13,9 @@
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("ABLATION A4",
                      "XScale-style vs Transmeta-style switching cost");
 
@@ -39,25 +40,46 @@ main()
         {"transmeta, coarse x16 + 4x delay", DvfsModel::transmeta(), 16,
          4.0, 1},
     };
+    const std::vector<const char *> names = {"epic_decode", "swim"};
+
+    const auto shared = shareOptions(opts);
+    std::vector<std::shared_ptr<const RunOptions>> variant_opts;
+    for (const auto &v : variants) {
+        RunOptions o = opts;
+        o.instructions /= v.insts_divisor;
+        o.config.dvfsModel = v.model;
+        o.config.adaptive.stepsPerAction = v.steps;
+        o.config.adaptive.levelDelay *= v.delay_scale;
+        o.config.adaptive.deltaDelay *= v.delay_scale;
+        variant_opts.push_back(shareOptions(std::move(o)));
+    }
+
+    // Per benchmark: the full-length baseline, then per variant the
+    // adaptive run plus (for shortened variants) a matching-length
+    // baseline so the comparison stays apples-to-apples.
+    std::vector<RunTask> tasks;
+    for (const char *name : names) {
+        tasks.push_back(mcdBaselineTask(name, shared));
+        for (std::size_t v = 0; v < variant_opts.size(); ++v) {
+            tasks.push_back(
+                schemeTask(name, ControllerKind::Adaptive, variant_opts[v]));
+            if (variants[v].insts_divisor != 1)
+                tasks.push_back(mcdBaselineTask(name, variant_opts[v]));
+        }
+    }
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
 
     std::printf("%-12s %-34s | %8s %8s %8s %8s\n", "benchmark",
                 "variant", "E-sav%", "P-deg%", "EDP+%", "trans");
     mcdbench::rule(92);
-    for (const char *name : {"epic_decode", "swim"}) {
-        const SimResult base = runMcdBaseline(name, opts);
+    std::size_t idx = 0;
+    for (const char *name : names) {
+        const SimResult &base = results[idx++];
         for (const auto &v : variants) {
-            RunOptions o = opts;
-            o.instructions /= v.insts_divisor;
-            o.config.dvfsModel = v.model;
-            o.config.adaptive.stepsPerAction = v.steps;
-            o.config.adaptive.levelDelay *= v.delay_scale;
-            o.config.adaptive.deltaDelay *= v.delay_scale;
-            const SimResult r =
-                runBenchmark(name, ControllerKind::Adaptive, o);
-            SimResult scaled_base = base;
-            if (v.insts_divisor != 1)
-                scaled_base = runMcdBaseline(name, o);
-            const Comparison c = compare(r, scaled_base);
+            const SimResult &r = results[idx++];
+            const SimResult &cmp_base =
+                v.insts_divisor != 1 ? results[idx++] : base;
+            const Comparison c = compare(r, cmp_base);
             std::uint64_t trans = 0;
             for (const auto &d : r.domains)
                 trans += d.transitions;

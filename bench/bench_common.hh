@@ -1,17 +1,20 @@
 /**
  * @file
  * Shared glue for the experiment harnesses: run-length control via
- * the MCDSIM_INSTS environment variable, suite listing, and table
- * formatting helpers. Each harness regenerates one table or figure
- * of the paper (see DESIGN.md's experiment index and EXPERIMENTS.md
- * for paper-vs-measured records).
+ * the MCDSIM_INSTS environment variable, parallelism control via
+ * MCDSIM_JOBS / --jobs, suite listing, and table formatting helpers.
+ * Each harness regenerates one table or figure of the paper (see
+ * DESIGN.md's experiment index and EXPERIMENTS.md for
+ * paper-vs-measured records).
  */
 
 #ifndef MCDSIM_BENCH_BENCH_COMMON_HH
 #define MCDSIM_BENCH_BENCH_COMMON_HH
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -25,11 +28,61 @@ inline std::uint64_t
 runLength(std::uint64_t def = 600000)
 {
     if (const char *env = std::getenv("MCDSIM_INSTS")) {
-        const auto v = std::strtoull(env, nullptr, 10);
-        if (v > 0)
+        std::uint64_t v = 0;
+        const char *end = env + std::strlen(env);
+        const auto [ptr, ec] = std::from_chars(env, end, v);
+        if (ec == std::errc{} && ptr == end && v > 0)
             return v;
+        std::fprintf(stderr,
+                     "mcdsim: ignoring malformed MCDSIM_INSTS='%s' "
+                     "(want a positive integer); using %llu\n",
+                     env, static_cast<unsigned long long>(def));
     }
     return def;
+}
+
+/**
+ * Harness command-line entry point: understands `--jobs N` (and
+ * `--jobs=N`), forwarding the value to the execution layer so it
+ * takes precedence over MCDSIM_JOBS. Call once at the top of main().
+ * Unrecognised arguments abort with a usage message so typos are not
+ * silently ignored.
+ */
+inline void
+parseHarnessArgs(int argc, char **argv)
+{
+    auto usage = [&](const char *bad) {
+        std::fprintf(stderr,
+                     "%s: unrecognised argument '%s'\n"
+                     "usage: %s [--jobs N]\n",
+                     argv[0], bad, argv[0]);
+        std::exit(2);
+    };
+    auto parseJobs = [&](const char *text) {
+        std::size_t jobs = 0;
+        const char *end = text + std::strlen(text);
+        const auto [ptr, ec] = std::from_chars(text, end, jobs);
+        if (ec != std::errc{} || ptr != end || jobs == 0) {
+            std::fprintf(stderr,
+                         "%s: --jobs wants a positive integer, got "
+                         "'%s'\n",
+                         argv[0], text);
+            std::exit(2);
+        }
+        mcd::setConfiguredJobs(jobs);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc)
+                usage(arg);
+            parseJobs(argv[++i]);
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            parseJobs(arg + 7);
+        } else {
+            usage(arg);
+        }
+    }
 }
 
 /** All benchmark names, in suite order. */
@@ -63,7 +116,7 @@ rule(int width = 78)
     std::putchar('\n');
 }
 
-/** Print a experiment banner. */
+/** Print an experiment banner. */
 inline void
 banner(const char *id, const char *title)
 {

@@ -52,8 +52,9 @@ printBreakdown(const SimResult &r, bool five_domain)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("ENERGY BREAKDOWN",
                      "Per-domain, per-category joules (uJ): baseline "
                      "vs adaptive");
@@ -61,10 +62,20 @@ main()
     RunOptions opts;
     opts.instructions = mcdbench::runLength(400000);
 
-    for (const char *name : {"adpcm_enc", "swim"}) {
-        const SimResult base = runMcdBaseline(name, opts);
-        const SimResult run =
-            runBenchmark(name, ControllerKind::Adaptive, opts);
+    const std::vector<const char *> names = {"adpcm_enc", "swim"};
+    const auto shared = shareOptions(opts);
+    std::vector<RunTask> tasks;
+    tasks.reserve(names.size() * 2);
+    for (const char *name : names) {
+        tasks.push_back(mcdBaselineTask(name, shared));
+        tasks.push_back(schemeTask(name, ControllerKind::Adaptive, shared));
+    }
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
+
+    std::size_t idx = 0;
+    for (const char *name : names) {
+        const SimResult &base = results[idx++];
+        const SimResult &run = results[idx++];
 
         std::printf("\n%s - MCD baseline (%.3f ms, %.3f mJ):\n", name,
                     base.seconds() * 1e3, base.energy * 1e3);

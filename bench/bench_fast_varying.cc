@@ -34,8 +34,9 @@ struct GroupAvg
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("FAST-VARYING GROUP",
                      "Adaptive vs fixed-interval schemes by "
                      "workload-variability class");
@@ -50,13 +51,26 @@ main()
 
     GroupAvg fast[3], slow[3];
 
+    // Per benchmark: one MCD baseline followed by one run per scheme.
+    const auto shared = shareOptions(opts);
+    std::vector<RunTask> tasks;
+    const auto &suite = benchmarkList();
+    tasks.reserve(suite.size() * (1 + kinds.size()));
+    for (const auto &info : suite) {
+        tasks.push_back(mcdBaselineTask(info.name, shared));
+        for (const auto kind : kinds)
+            tasks.push_back(schemeTask(info.name, kind, shared));
+    }
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
+
     std::printf("%-12s %-6s | %-14s %8s %8s %8s\n", "benchmark",
                 "class", "scheme", "E-sav%", "P-deg%", "EDP+%");
     mcdbench::rule(66);
-    for (const auto &info : benchmarkList()) {
-        const SimResult base = runMcdBaseline(info.name, opts);
+    std::size_t idx = 0;
+    for (const auto &info : suite) {
+        const SimResult &base = results[idx++];
         for (std::size_t k = 0; k < kinds.size(); ++k) {
-            const SimResult r = runBenchmark(info.name, kinds[k], opts);
+            const SimResult &r = results[idx++];
             const Comparison c = compare(r, base);
             (info.expectedFastVarying ? fast[k] : slow[k]).add(c);
             std::printf("%-12s %-6s | %-14s %8.1f %8.1f %8.1f\n",

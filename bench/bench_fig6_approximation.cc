@@ -15,8 +15,9 @@
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner(
         "FIGURE 6",
         "Continuous approximation of the discrete step-up action");

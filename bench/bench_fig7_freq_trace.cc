@@ -13,16 +13,18 @@
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("FIGURE 7",
                      "epic_decode FP-domain frequency trace (adaptive)");
 
     RunOptions opts;
     opts.instructions = mcdbench::runLength(1000000);
     opts.recordTraces = true;
-    const SimResult r =
-        runBenchmark("epic_decode", ControllerKind::Adaptive, opts);
+    const SimResult r = runTask(
+        schemeTask("epic_decode", ControllerKind::Adaptive,
+                   shareOptions(std::move(opts))));
 
     const std::size_t buckets = 60;
     const auto freq = r.fpFreqTrace.bucketMeans(buckets);

@@ -15,8 +15,9 @@
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner(
         "FIGURE 8",
         "epic_decode INT-queue variance spectrum (multitaper)");
@@ -25,7 +26,8 @@ main()
     opts.instructions = mcdbench::runLength(600000);
     opts.recordTraces = true;
     opts.config.traceStride = 1;
-    const SimResult r = runMcdBaseline("epic_decode", opts);
+    const SimResult r = runTask(
+        mcdBaselineTask("epic_decode", shareOptions(std::move(opts))));
 
     const double fs = 250e6; // sampling rate
     const auto vs = sineMultitaperPsd(r.intQueueTrace.valueData(), fs, 6);

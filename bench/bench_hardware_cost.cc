@@ -33,8 +33,9 @@ printCost(const HardwareCost &hw)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("HARDWARE COST",
                      "Decision-logic cost per scheme (Figure 5)");
 

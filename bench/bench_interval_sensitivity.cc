@@ -10,13 +10,16 @@
  * (noisy averages, more wrong moves).
  */
 
+#include <iterator>
+
 #include "bench_common.hh"
 
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("INTERVAL SENSITIVITY",
                      "PID [23] with shorter intervals vs adaptive");
 
@@ -26,6 +29,7 @@ main()
     const auto group = mcdbench::fastVaryingBenchmarks();
     // Intervals in sampling periods: 10 us down to 0.625 us.
     const std::uint32_t intervals[] = {2500, 1250, 625, 312, 156};
+    const std::size_t n_intervals = std::size(intervals);
 
     std::printf("fast-varying group: ");
     for (const auto &n : group)
@@ -34,14 +38,34 @@ main()
                 "EDP+%");
     mcdbench::rule(52);
 
+    // One task list for the whole sweep: per benchmark an MCD
+    // baseline and the adaptive reference, then per interval one PID
+    // run per benchmark (each interval gets its own shared options
+    // copy carrying the overridden interval length).
+    const auto shared = shareOptions(opts);
+    std::vector<RunTask> tasks;
+    tasks.reserve(group.size() * (2 + n_intervals));
+    for (const auto &name : group) {
+        tasks.push_back(mcdBaselineTask(name, shared));
+        tasks.push_back(schemeTask(name, ControllerKind::Adaptive, shared));
+    }
+    for (std::uint32_t interval : intervals) {
+        RunOptions o = opts;
+        o.config.pid.intervalSamples = interval;
+        const auto shared_interval = shareOptions(std::move(o));
+        for (const auto &name : group)
+            tasks.push_back(
+                schemeTask(name, ControllerKind::Pid, shared_interval));
+    }
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
+
     // Adaptive reference.
     double ae = 0, ap = 0, aedp = 0;
-    std::vector<SimResult> bases;
-    for (const auto &name : group) {
-        bases.push_back(runMcdBaseline(name, opts));
-        const SimResult r =
-            runBenchmark(name, ControllerKind::Adaptive, opts);
-        const Comparison c = compare(r, bases.back());
+    std::vector<const SimResult *> bases;
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        bases.push_back(&results[idx++]);
+        const Comparison c = compare(results[idx++], *bases.back());
         ae += c.energySavings;
         ap += c.perfDegradation;
         aedp += c.edpImprovement;
@@ -55,11 +79,7 @@ main()
     for (std::uint32_t interval : intervals) {
         double e = 0, p = 0, edp = 0;
         for (std::size_t i = 0; i < group.size(); ++i) {
-            RunOptions o = opts;
-            o.config.pid.intervalSamples = interval;
-            const SimResult r =
-                runBenchmark(group[i], ControllerKind::Pid, o);
-            const Comparison c = compare(r, bases[i]);
+            const Comparison c = compare(results[idx++], *bases[i]);
             e += c.energySavings;
             p += c.perfDegradation;
             edp += c.edpImprovement;

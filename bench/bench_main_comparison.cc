@@ -20,8 +20,9 @@
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("MAIN COMPARISON",
                      "Energy savings / performance degradation vs "
                      "MCD full-speed baseline");
@@ -43,6 +44,22 @@ main()
                 "P-deg%", "EDP+%", "E-sav%", "P-deg%", "EDP+%");
     mcdbench::rule(84);
 
+    // Fan the whole matrix out through the execution layer: per
+    // benchmark an MCD baseline, a synchronous baseline, and one run
+    // per scheme. Results come back in submission order, so the
+    // per-benchmark stride below is (2 + kinds.size()).
+    const auto shared = shareOptions(opts);
+    std::vector<RunTask> tasks;
+    const auto &suite = benchmarkList();
+    tasks.reserve(suite.size() * (2 + kinds.size()));
+    for (const auto &info : suite) {
+        tasks.push_back(mcdBaselineTask(info.name, shared));
+        tasks.push_back(syncBaselineTask(info.name, shared));
+        for (const auto kind : kinds)
+            tasks.push_back(schemeTask(info.name, kind, shared));
+    }
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
+
     struct Avg
     {
         double e = 0, p = 0, edp = 0;
@@ -51,16 +68,17 @@ main()
     double sync_overhead = 0.0;
     int n = 0;
 
-    for (const auto &info : benchmarkList()) {
-        const SimResult base = runMcdBaseline(info.name, opts);
-        const SimResult sync = runSynchronousBaseline(info.name, opts);
+    std::size_t idx = 0;
+    for (const auto &info : suite) {
+        const SimResult &base = results[idx++];
+        const SimResult &sync = results[idx++];
         sync_overhead += static_cast<double>(base.wallTicks) /
                              static_cast<double>(sync.wallTicks) -
                          1.0;
 
         std::printf("%-12s |", info.name.c_str());
         for (std::size_t k = 0; k < kinds.size(); ++k) {
-            const SimResult r = runBenchmark(info.name, kinds[k], opts);
+            const SimResult &r = results[idx++];
             const Comparison c = compare(r, base);
             std::printf(" %6.1f %6.1f %7.1f |", mcdbench::pct(c.energySavings),
                         mcdbench::pct(c.perfDegradation),

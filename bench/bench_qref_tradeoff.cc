@@ -10,13 +10,16 @@
  * the paper's literal 6/4/4 setting.
  */
 
+#include <iterator>
+
 #include "bench_common.hh"
 
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("QREF TRADEOFF",
                      "Reference queue point vs energy/performance "
                      "(Section 3)");
@@ -47,20 +50,30 @@ main()
                 "P-deg%", "EDP+%");
     mcdbench::rule(58);
 
-    std::vector<SimResult> bases;
+    // Baselines first, then per setting one adaptive run per
+    // benchmark (each setting carries its own shared options copy).
+    const auto shared = shareOptions(opts);
+    std::vector<RunTask> tasks;
+    tasks.reserve(names.size() * (1 + std::size(settings)));
     for (const auto &n : names)
-        bases.push_back(runMcdBaseline(n, opts));
+        tasks.push_back(mcdBaselineTask(n, shared));
+    for (const auto &s : settings) {
+        RunOptions o = opts;
+        o.config.qref = {s.qint, s.qfp, s.qls};
+        const auto setting_opts = shareOptions(std::move(o));
+        for (const auto &n : names)
+            tasks.push_back(
+                schemeTask(n, ControllerKind::Adaptive, setting_opts));
+    }
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
 
     double prev_e = -1.0;
     bool monotone_energy = true;
+    std::size_t idx = names.size();
     for (const auto &s : settings) {
         double e = 0, p = 0, edp = 0;
         for (std::size_t i = 0; i < names.size(); ++i) {
-            RunOptions o = opts;
-            o.config.qref = {s.qint, s.qfp, s.qls};
-            const SimResult r =
-                runBenchmark(names[i], ControllerKind::Adaptive, o);
-            const Comparison c = compare(r, bases[i]);
+            const Comparison c = compare(results[idx++], results[i]);
             e += c.energySavings;
             p += c.perfDegradation;
             edp += c.edpImprovement;

@@ -137,8 +137,9 @@ remark3()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     remark1();
     remark2();
     remark3();

@@ -10,8 +10,9 @@
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("TABLE 1", "Summary of All Simulation Parameters");
 
     const SimConfig cfg;

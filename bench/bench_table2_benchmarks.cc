@@ -15,8 +15,9 @@
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdbench::parseHarnessArgs(argc, argv);
     mcdbench::banner("TABLE 2",
                      "Benchmark suite and spectral classification");
 
@@ -37,9 +38,18 @@ main()
                 "class", "expected");
     mcdbench::rule(92);
 
+    const auto shared = shareOptions(opts);
+    std::vector<RunTask> tasks;
+    const auto &suite = benchmarkList();
+    tasks.reserve(suite.size());
+    for (const auto &info : suite)
+        tasks.push_back(mcdBaselineTask(info.name, shared));
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
+
     int agree = 0, total = 0;
-    for (const auto &info : benchmarkList()) {
-        const SimResult r = runMcdBaseline(info.name, opts);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &info = suite[i];
+        const SimResult &r = results[i];
         const double ipc = static_cast<double>(r.instructions) /
                            static_cast<double>(r.feCycles);
 

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Execution-layer wall-clock benchmark: times one suite sweep (per
+ * benchmark an MCD baseline plus an adaptive run) executed serially
+ * and through the parallel runner, and reports per-run simulator
+ * throughput (instructions/sec, kernel events/sec).
+ *
+ * Human-readable narration goes to stderr; stdout carries a single
+ * JSON document so `bench_wallclock > BENCH_exec.json` captures the
+ * machine-readable record (see tools/perf/run_bench.sh).
+ *
+ * Wall-clock time is banned from src/ by tools/lint (simulated runs
+ * must be pure functions of config and seed); this harness measures
+ * host elapsed time, which is exactly the quantity that may not leak
+ * into simulation results, so the timing lives out here in bench/.
+ */
+
+#include <chrono>
+#include <thread>
+
+#include "bench_common.hh"
+
+using namespace mcd;
+
+namespace
+{
+
+struct SweepStats
+{
+    double seconds = 0.0;
+    std::uint64_t instructions = 0;
+    std::uint64_t events = 0;
+    std::uint64_t wallTicksSum = 0; ///< fingerprint for cross-checks
+};
+
+SweepStats
+timedSweep(const ParallelRunner &runner, const std::vector<RunTask> &tasks)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<SimResult> results = runner.run(tasks);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    SweepStats s;
+    s.seconds = std::chrono::duration<double>(t1 - t0).count();
+    for (const auto &r : results) {
+        s.instructions += r.instructions;
+        s.events += r.eventsProcessed;
+        s.wallTicksSum += r.wallTicks;
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    mcdbench::parseHarnessArgs(argc, argv);
+
+    RunOptions opts;
+    opts.instructions = mcdbench::runLength(200000);
+
+    const auto shared = shareOptions(opts);
+    std::vector<RunTask> tasks;
+    const auto &suite = benchmarkList();
+    tasks.reserve(suite.size() * 2);
+    for (const auto &info : suite) {
+        tasks.push_back(mcdBaselineTask(info.name, shared));
+        tasks.push_back(
+            schemeTask(info.name, ControllerKind::Adaptive, shared));
+    }
+
+    const std::size_t par_jobs = configuredJobs();
+    std::fprintf(stderr,
+                 "bench_wallclock: %zu tasks x %llu instructions; "
+                 "parallel jobs = %zu (hardware concurrency %u)\n",
+                 tasks.size(),
+                 static_cast<unsigned long long>(opts.instructions),
+                 par_jobs, std::thread::hardware_concurrency());
+
+    std::fprintf(stderr, "serial sweep (jobs = 1)...\n");
+    const SweepStats serial = timedSweep(ParallelRunner(1), tasks);
+    std::fprintf(stderr, "  %.3f s\n", serial.seconds);
+
+    std::fprintf(stderr, "parallel sweep (jobs = %zu)...\n", par_jobs);
+    const SweepStats parallel = timedSweep(ParallelRunner(par_jobs), tasks);
+    std::fprintf(stderr, "  %.3f s\n", parallel.seconds);
+
+    if (serial.wallTicksSum != parallel.wallTicksSum ||
+        serial.instructions != parallel.instructions) {
+        std::fprintf(stderr,
+                     "bench_wallclock: serial and parallel sweeps "
+                     "disagree; results are not trustworthy\n");
+        return 1;
+    }
+
+    const double speedup =
+        parallel.seconds > 0.0 ? serial.seconds / parallel.seconds : 0.0;
+    std::fprintf(stderr, "speedup: %.2fx; throughput (parallel): "
+                 "%.3g insts/s, %.3g events/s\n",
+                 speedup,
+                 static_cast<double>(parallel.instructions) /
+                     parallel.seconds,
+                 static_cast<double>(parallel.events) / parallel.seconds);
+
+    std::printf("{\n");
+    std::printf("  \"harness\": \"bench_wallclock\",\n");
+    std::printf("  \"hardware_concurrency\": %u,\n",
+                std::thread::hardware_concurrency());
+    std::printf("  \"jobs\": %zu,\n", par_jobs);
+    std::printf("  \"tasks\": %zu,\n", tasks.size());
+    std::printf("  \"instructions_per_run\": %llu,\n",
+                static_cast<unsigned long long>(opts.instructions));
+    std::printf("  \"total_instructions\": %llu,\n",
+                static_cast<unsigned long long>(parallel.instructions));
+    std::printf("  \"total_events\": %llu,\n",
+                static_cast<unsigned long long>(parallel.events));
+    std::printf("  \"serial_seconds\": %.6f,\n", serial.seconds);
+    std::printf("  \"parallel_seconds\": %.6f,\n", parallel.seconds);
+    std::printf("  \"speedup\": %.4f,\n", speedup);
+    std::printf("  \"serial_insts_per_sec\": %.1f,\n",
+                static_cast<double>(serial.instructions) / serial.seconds);
+    std::printf("  \"serial_events_per_sec\": %.1f,\n",
+                static_cast<double>(serial.events) / serial.seconds);
+    std::printf("  \"parallel_insts_per_sec\": %.1f,\n",
+                static_cast<double>(parallel.instructions) /
+                    parallel.seconds);
+    std::printf("  \"parallel_events_per_sec\": %.1f\n",
+                static_cast<double>(parallel.events) / parallel.seconds);
+    std::printf("}\n");
+    return 0;
+}

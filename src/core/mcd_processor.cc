@@ -112,6 +112,10 @@ McdProcessor::McdProcessor(const SimConfig &config, WorkloadSource &source)
             vf.fMax(), samplingPeriod));
     }
 
+    // Steady state holds one edge event per domain plus the sampler;
+    // pre-size the heap so the hot loop never reallocates.
+    eq.reserve(2 * numDomains + 2);
+
     // Wire the per-edge work and launch the clocks and the sampler.
     domains[0]->start([this] { frontEndTick(); });
     domains[1]->start([this] {
@@ -695,6 +699,7 @@ McdProcessor::collectResult()
     r.controller = controllers[0]->name();
     r.instructions = reorderBuffer.retiredCount();
     r.wallTicks = eq.now();
+    r.eventsProcessed = eq.processedCount();
     r.energy = energy.totalEnergy();
 
     for (std::size_t i = 0; i < 3; ++i) {

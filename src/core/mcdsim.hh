@@ -36,6 +36,7 @@
 #include "dvfs/fixed_controller.hh"
 #include "dvfs/hardware_cost.hh"
 #include "dvfs/pid_controller.hh"
+#include "exec/parallel_runner.hh"
 #include "spectrum/psd.hh"
 #include "stats/histogram.hh"
 #include "stats/summary.hh"

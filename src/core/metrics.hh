@@ -49,6 +49,9 @@ struct SimResult
     std::uint64_t instructions = 0;
     Tick wallTicks = 0;
 
+    /** Kernel events dispatched during the run (throughput metric). */
+    std::uint64_t eventsProcessed = 0;
+
     double seconds() const { return ticksToSeconds(wallTicks); }
 
     /** Aggregate throughput, instructions per second. */

@@ -6,75 +6,79 @@
 namespace mcd
 {
 
+namespace
+{
+
+/** Build the source, run the processor, label the result. */
+SimResult
+runOne(const std::string &benchmark, const SimConfig &cfg,
+       std::uint64_t instructions, const char *label)
+{
+    auto source = makeBenchmark(benchmark, instructions, cfg.seed);
+    McdProcessor proc(cfg, *source);
+    SimResult r = proc.run(instructions);
+    r.controller = label;
+    return r;
+}
+
+} // namespace
+
+SimResult
+runBenchmark(const std::string &benchmark, ControllerKind kind,
+             const RunOptions &opts, std::uint64_t seed)
+{
+    SimConfig cfg = opts.config;
+    cfg.controller = kind;
+    cfg.seed = seed;
+    cfg.recordTraces = opts.recordTraces;
+    if (kind != ControllerKind::Fixed)
+        cfg.mcdEnabled = true;
+    return runOne(benchmark, cfg, opts.instructions,
+                  controllerKindName(kind));
+}
+
 SimResult
 runBenchmark(const std::string &benchmark, ControllerKind kind,
              const RunOptions &opts)
 {
-    SimConfig cfg = opts.config;
-    cfg.controller = kind;
-    cfg.seed = opts.seed;
-    cfg.recordTraces = opts.recordTraces;
-    if (kind != ControllerKind::Fixed)
-        cfg.mcdEnabled = true;
-
-    auto source = makeBenchmark(benchmark, opts.instructions, opts.seed);
-    McdProcessor proc(cfg, *source);
-    SimResult r = proc.run(opts.instructions);
-    r.controller = controllerKindName(kind);
-    return r;
+    return runBenchmark(benchmark, kind, opts, opts.seed);
 }
 
 SimResult
-runSynchronousBaseline(const std::string &benchmark, const RunOptions &opts)
+runSynchronousBaseline(const std::string &benchmark,
+                       const RunOptions &opts, std::uint64_t seed)
 {
     SimConfig cfg = opts.config;
     cfg.controller = ControllerKind::Fixed;
     cfg.mcdEnabled = false;
     cfg.jitterEnabled = false;
-    cfg.seed = opts.seed;
+    cfg.seed = seed;
     cfg.recordTraces = opts.recordTraces;
+    return runOne(benchmark, cfg, opts.instructions, "sync-baseline");
+}
 
-    auto source = makeBenchmark(benchmark, opts.instructions, opts.seed);
-    McdProcessor proc(cfg, *source);
-    SimResult r = proc.run(opts.instructions);
-    r.controller = "sync-baseline";
-    return r;
+SimResult
+runSynchronousBaseline(const std::string &benchmark, const RunOptions &opts)
+{
+    return runSynchronousBaseline(benchmark, opts, opts.seed);
+}
+
+SimResult
+runMcdBaseline(const std::string &benchmark, const RunOptions &opts,
+               std::uint64_t seed)
+{
+    SimConfig cfg = opts.config;
+    cfg.controller = ControllerKind::Fixed;
+    cfg.mcdEnabled = true;
+    cfg.seed = seed;
+    cfg.recordTraces = opts.recordTraces;
+    return runOne(benchmark, cfg, opts.instructions, "mcd-baseline");
 }
 
 SimResult
 runMcdBaseline(const std::string &benchmark, const RunOptions &opts)
 {
-    SimConfig cfg = opts.config;
-    cfg.controller = ControllerKind::Fixed;
-    cfg.mcdEnabled = true;
-    cfg.seed = opts.seed;
-    cfg.recordTraces = opts.recordTraces;
-
-    auto source = makeBenchmark(benchmark, opts.instructions, opts.seed);
-    McdProcessor proc(cfg, *source);
-    SimResult r = proc.run(opts.instructions);
-    r.controller = "mcd-baseline";
-    return r;
-}
-
-std::vector<ComparisonRow>
-runComparison(const std::vector<std::string> &names,
-              const std::vector<ControllerKind> &kinds,
-              const RunOptions &opts)
-{
-    std::vector<ComparisonRow> rows;
-    for (const auto &name : names) {
-        const SimResult base = runMcdBaseline(name, opts);
-        for (ControllerKind kind : kinds) {
-            ComparisonRow row;
-            row.benchmark = name;
-            row.scheme = controllerKindName(kind);
-            row.result = runBenchmark(name, kind, opts);
-            row.vsBaseline = compare(row.result, base);
-            rows.push_back(std::move(row));
-        }
-    }
-    return rows;
+    return runMcdBaseline(benchmark, opts, opts.seed);
 }
 
 } // namespace mcd

@@ -1,8 +1,10 @@
 /**
  * @file
- * Experiment orchestration: build a processor for (benchmark,
- * controller) pairs, run it, and assemble the paper's comparison
- * tables.
+ * Experiment primitives: build a processor for one (benchmark,
+ * controller, seed) triple and run it. Suite-level fan-out — the
+ * paper's comparison tables across many benchmarks and schemes —
+ * lives in exec/parallel_runner.hh, which runs these primitives on a
+ * worker pool.
  */
 
 #ifndef MCDSIM_CORE_RUNNER_HH
@@ -43,14 +45,20 @@ struct ComparisonRow
 };
 
 /**
- * Run @p benchmark under @p kind.
+ * Run @p benchmark under @p kind with @p seed (the explicit-seed
+ * forms let a task runner sweep seeds without copying RunOptions).
  * The synchronous full-speed baseline is ControllerKind::Fixed with
  * mcdEnabled = false.
  */
 SimResult runBenchmark(const std::string &benchmark, ControllerKind kind,
+                       const RunOptions &opts, std::uint64_t seed);
+SimResult runBenchmark(const std::string &benchmark, ControllerKind kind,
                        const RunOptions &opts);
 
 /** Baseline = conventional synchronous processor at f_max. */
+SimResult runSynchronousBaseline(const std::string &benchmark,
+                                 const RunOptions &opts,
+                                 std::uint64_t seed);
 SimResult runSynchronousBaseline(const std::string &benchmark,
                                  const RunOptions &opts);
 
@@ -61,16 +69,9 @@ SimResult runSynchronousBaseline(const std::string &benchmark,
  * quantifies the one-time MCD synchronization overhead.
  */
 SimResult runMcdBaseline(const std::string &benchmark,
+                         const RunOptions &opts, std::uint64_t seed);
+SimResult runMcdBaseline(const std::string &benchmark,
                          const RunOptions &opts);
-
-/**
- * Run every scheme in @p kinds on every benchmark in @p names,
- * normalizing against the synchronous baseline.
- */
-std::vector<ComparisonRow>
-runComparison(const std::vector<std::string> &names,
-              const std::vector<ControllerKind> &kinds,
-              const RunOptions &opts);
 
 } // namespace mcd
 

@@ -1,0 +1,189 @@
+#include "exec/parallel_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/check.hh"
+#include "common/logging.hh"
+#include "exec/worker_pool.hh"
+
+namespace mcd
+{
+
+namespace
+{
+
+/** Process-wide jobs override (0 = automatic). */
+std::atomic<std::size_t> jobsOverride{0};
+
+std::size_t
+jobsFromEnvironment()
+{
+    const char *env = std::getenv("MCDSIM_JOBS");
+    if (!env || *env == '\0')
+        return 0;
+    std::size_t value = 0;
+    const char *end = env + std::strlen(env);
+    const auto [ptr, ec] = std::from_chars(env, end, value);
+    if (ec != std::errc() || ptr != end || value == 0) {
+        warn("MCDSIM_JOBS='%s' is not a positive integer; using "
+             "hardware concurrency", env);
+        return 0;
+    }
+    return value;
+}
+
+} // namespace
+
+std::size_t
+configuredJobs()
+{
+    if (const std::size_t forced = jobsOverride.load())
+        return forced;
+    if (const std::size_t env = jobsFromEnvironment())
+        return env;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+setConfiguredJobs(std::size_t jobs)
+{
+    jobsOverride.store(jobs);
+}
+
+RunTask
+schemeTask(std::string benchmark, ControllerKind controller,
+           std::shared_ptr<const RunOptions> opts)
+{
+    MCDSIM_CHECK(opts != nullptr, "task without options");
+    RunTask t;
+    t.benchmark = std::move(benchmark);
+    t.kind = RunTaskKind::Scheme;
+    t.controller = controller;
+    t.seed = opts->seed;
+    t.opts = std::move(opts);
+    return t;
+}
+
+RunTask
+mcdBaselineTask(std::string benchmark,
+                std::shared_ptr<const RunOptions> opts)
+{
+    RunTask t = schemeTask(std::move(benchmark), ControllerKind::Fixed,
+                           std::move(opts));
+    t.kind = RunTaskKind::McdBaseline;
+    return t;
+}
+
+RunTask
+syncBaselineTask(std::string benchmark,
+                 std::shared_ptr<const RunOptions> opts)
+{
+    RunTask t = schemeTask(std::move(benchmark), ControllerKind::Fixed,
+                           std::move(opts));
+    t.kind = RunTaskKind::SyncBaseline;
+    return t;
+}
+
+SimResult
+runTask(const RunTask &task)
+{
+    MCDSIM_CHECK(task.opts != nullptr, "task without options");
+    switch (task.kind) {
+      case RunTaskKind::Scheme:
+        return runBenchmark(task.benchmark, task.controller, *task.opts,
+                            task.seed);
+      case RunTaskKind::McdBaseline:
+        return runMcdBaseline(task.benchmark, *task.opts, task.seed);
+      case RunTaskKind::SyncBaseline:
+        return runSynchronousBaseline(task.benchmark, *task.opts,
+                                      task.seed);
+    }
+    panic("unknown task kind %d", static_cast<int>(task.kind));
+}
+
+ParallelRunner::ParallelRunner() : ParallelRunner(configuredJobs()) {}
+
+ParallelRunner::ParallelRunner(std::size_t jobs)
+    : jobCount(jobs > 0 ? jobs : 1)
+{}
+
+std::vector<SimResult>
+ParallelRunner::run(const std::vector<RunTask> &tasks) const
+{
+    std::vector<SimResult> results(tasks.size());
+
+    if (jobCount == 1 || tasks.size() <= 1) {
+        // Exact old serial path: same call sequence, same thread, no
+        // pool. Exceptions propagate from the failing task directly.
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            results[i] = runTask(tasks[i]);
+        return results;
+    }
+
+    // One error slot per task so the rethrow below is deterministic
+    // (lowest task index wins) no matter which worker failed first.
+    std::vector<std::exception_ptr> errors(tasks.size());
+    {
+        WorkerPool pool(std::min(jobCount, tasks.size()));
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            pool.submit([&tasks, &results, &errors, i] {
+                try {
+                    results[i] = runTask(tasks[i]);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.waitIdle();
+    }
+    for (auto &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
+    return results;
+}
+
+std::vector<ComparisonRow>
+runComparison(const std::vector<std::string> &names,
+              const std::vector<ControllerKind> &kinds,
+              const RunOptions &opts)
+{
+    // One immutable RunOptions copy serves every task; the old serial
+    // loop re-copied the whole SimConfig into each runner call.
+    const auto shared = shareOptions(opts);
+    std::vector<RunTask> tasks;
+    tasks.reserve(names.size() * (kinds.size() + 1));
+    for (const auto &name : names) {
+        tasks.push_back(mcdBaselineTask(name, shared));
+        for (ControllerKind kind : kinds)
+            tasks.push_back(schemeTask(name, kind, shared));
+    }
+
+    std::vector<SimResult> results = ParallelRunner().run(tasks);
+
+    std::vector<ComparisonRow> rows;
+    rows.reserve(names.size() * kinds.size());
+    std::size_t idx = 0;
+    for (const auto &name : names) {
+        const SimResult &base = results[idx++];
+        for (ControllerKind kind : kinds) {
+            ComparisonRow row;
+            row.benchmark = name;
+            row.scheme = controllerKindName(kind);
+            row.result = std::move(results[idx++]);
+            row.vsBaseline = compare(row.result, base);
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+} // namespace mcd

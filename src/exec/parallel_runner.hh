@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Parallel experiment execution.
+ *
+ * Every experiment in the paper's evaluation is a cross product of
+ * (benchmark, scheme, seed, config) runs, and each run is a pure
+ * function of its inputs (tests/integration/test_determinism.cc
+ * enforces this). That makes the whole suite embarrassingly parallel:
+ * ParallelRunner fans RunTask units out over a WorkerPool, runs each
+ * in its own McdProcessor, and hands the results back in task-
+ * submission order — so any table built from them is byte-identical
+ * to a serial run, regardless of completion order.
+ *
+ * Concurrency knob, in precedence order:
+ *   1. setConfiguredJobs() — e.g. from a harness --jobs flag;
+ *   2. the MCDSIM_JOBS environment variable;
+ *   3. std::thread::hardware_concurrency().
+ * Jobs = 1 takes the exact old serial path (no pool, no threads).
+ */
+
+#ifndef MCDSIM_EXEC_PARALLEL_RUNNER_HH
+#define MCDSIM_EXEC_PARALLEL_RUNNER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace mcd
+{
+
+/** What a RunTask simulates. */
+enum class RunTaskKind : std::uint8_t
+{
+    Scheme,       ///< runBenchmark with RunTask::controller
+    McdBaseline,  ///< full-speed MCD substrate, DVFS off
+    SyncBaseline, ///< conventional synchronous chip at f_max
+};
+
+/**
+ * One independent simulation run. Tasks share one immutable
+ * RunOptions copy (instructions, config, trace flags); the per-task
+ * seed overrides RunOptions::seed so seed sweeps need no per-task
+ * config duplication.
+ */
+struct RunTask
+{
+    std::string benchmark;
+    RunTaskKind kind = RunTaskKind::Scheme;
+    ControllerKind controller = ControllerKind::Adaptive;
+    std::uint64_t seed = 1;
+    std::shared_ptr<const RunOptions> opts;
+};
+
+/** Share one RunOptions copy among many tasks. */
+inline std::shared_ptr<const RunOptions>
+shareOptions(RunOptions opts)
+{
+    return std::make_shared<const RunOptions>(std::move(opts));
+}
+
+/** @{ Task builders; the seed defaults to the shared options' seed. */
+RunTask schemeTask(std::string benchmark, ControllerKind controller,
+                   std::shared_ptr<const RunOptions> opts);
+RunTask mcdBaselineTask(std::string benchmark,
+                        std::shared_ptr<const RunOptions> opts);
+RunTask syncBaselineTask(std::string benchmark,
+                         std::shared_ptr<const RunOptions> opts);
+/** @} */
+
+/** Execute one task in this thread (the serial building block). */
+SimResult runTask(const RunTask &task);
+
+/**
+ * Resolved worker count: setConfiguredJobs override, else
+ * MCDSIM_JOBS, else hardware concurrency (minimum 1). A malformed
+ * MCDSIM_JOBS value warns to stderr and is ignored.
+ */
+std::size_t configuredJobs();
+
+/** Override configuredJobs() process-wide; 0 restores automatic. */
+void setConfiguredJobs(std::size_t jobs);
+
+/** Fan RunTasks out over a worker pool. */
+class ParallelRunner
+{
+  public:
+    /** Use configuredJobs() workers. */
+    ParallelRunner();
+
+    /** Use exactly @p jobs workers (1 = serial path). */
+    explicit ParallelRunner(std::size_t jobs);
+
+    std::size_t jobs() const { return jobCount; }
+
+    /**
+     * Run every task; results in task order. A task that throws
+     * (e.g. a CheckFailure under ScopedCheckThrower) has its
+     * exception rethrown here, lowest task index first, after all
+     * tasks finish.
+     */
+    std::vector<SimResult> run(const std::vector<RunTask> &tasks) const;
+
+  private:
+    std::size_t jobCount;
+};
+
+/**
+ * Run every scheme in @p kinds on every benchmark in @p names in
+ * parallel (configuredJobs() workers), normalizing against the
+ * full-speed MCD baseline. Row order is (benchmark major, kind
+ * minor), independent of completion order.
+ */
+std::vector<ComparisonRow>
+runComparison(const std::vector<std::string> &names,
+              const std::vector<ControllerKind> &kinds,
+              const RunOptions &opts);
+
+} // namespace mcd
+
+#endif // MCDSIM_EXEC_PARALLEL_RUNNER_HH

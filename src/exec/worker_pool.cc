@@ -1,0 +1,85 @@
+#include "exec/worker_pool.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hh"
+
+namespace mcd
+{
+
+WorkerPool::WorkerPool(std::size_t threads)
+{
+    const std::size_t n = std::max<std::size_t>(1, threads);
+    workers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        workers.emplace_back(
+            [this](std::stop_token stop) { workerLoop(stop); });
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    for (auto &w : workers)
+        w.request_stop();
+    // condition_variable_any waits with a stop token wake on
+    // request_stop(); the explicit notify covers any implementation
+    // that parks between the predicate check and the token hook.
+    taskReady.notify_all();
+}
+
+void
+WorkerPool::submit(std::function<void()> task)
+{
+    MCDSIM_CHECK(task != nullptr, "submitting empty task");
+    {
+        std::lock_guard lock(mtx);
+        queue.push_back(std::move(task));
+    }
+    taskReady.notify_one();
+}
+
+void
+WorkerPool::waitIdle()
+{
+    std::unique_lock lock(mtx);
+    idle.wait(lock, [this] { return queue.empty() && running == 0; });
+    if (firstError) {
+        std::exception_ptr err = std::exchange(firstError, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+WorkerPool::workerLoop(std::stop_token stop)
+{
+    std::unique_lock lock(mtx);
+    while (true) {
+        if (!taskReady.wait(lock, stop,
+                            [this] { return !queue.empty(); }))
+            return; // stop requested and queue empty
+        if (stop.stop_requested())
+            return; // shutting down: drop still-queued tasks
+        std::function<void()> task = std::move(queue.front());
+        queue.pop_front();
+        ++running;
+        lock.unlock();
+
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
+
+        lock.lock();
+        if (err && !firstError)
+            firstError = err;
+        --running;
+        if (queue.empty() && running == 0)
+            idle.notify_all();
+    }
+}
+
+} // namespace mcd

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fixed-size worker pool for the experiment execution layer.
+ *
+ * This is deliberately the only place in mcdsim where threads exist:
+ * each simulation run is a pure function of (config, seed) executed
+ * entirely on one worker, so the simulator itself stays single-
+ * threaded and deterministic while independent runs fill every core.
+ * tools/lint/determinism_lint.py enforces that split — threading
+ * primitives are banned outside src/exec/.
+ *
+ * The pool never reads a wall clock: workers block on a plain
+ * condition-variable wait with no timeout, and shutdown rides the
+ * std::jthread stop token.
+ */
+
+#ifndef MCDSIM_EXEC_WORKER_POOL_HH
+#define MCDSIM_EXEC_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcd
+{
+
+/**
+ * A fixed set of worker threads draining a FIFO task queue.
+ *
+ * Tasks are arbitrary callables. If a task throws, the pool captures
+ * the first exception and rethrows it from the next waitIdle() call;
+ * callers that need per-task error attribution (ParallelRunner does)
+ * should catch inside the task instead.
+ *
+ * Destruction stops the workers after their current task; tasks still
+ * queued are dropped. Call waitIdle() first when every submitted task
+ * must run.
+ */
+class WorkerPool
+{
+  public:
+    /** Spin up @p threads workers (at least one). */
+    explicit WorkerPool(std::size_t threads);
+
+    /** Stops workers after their current task; queued tasks dropped. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue @p task; runs on some worker in FIFO dispatch order. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until the queue is empty and no task is running, then
+     * rethrow the first exception any task leaked (if one did).
+     */
+    void waitIdle();
+
+    std::size_t threadCount() const { return workers.size(); }
+
+  private:
+    void workerLoop(std::stop_token stop);
+
+    std::mutex mtx;
+    std::condition_variable_any taskReady; ///< workers: queue non-empty
+    std::condition_variable idle;          ///< waiters: pool drained
+    std::deque<std::function<void()>> queue;
+    std::size_t running = 0; ///< tasks currently executing
+    std::exception_ptr firstError;
+
+    /** Last member: workers must start after the state above. */
+    std::vector<std::jthread> workers;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_EXEC_WORKER_POOL_HH

@@ -67,6 +67,10 @@ ClockDomain::scheduleNextEdge()
                      : static_cast<Tick>(shifted);
     }
     nextActualEdge = actual;
+    // From edge() this is a self-reschedule of the event currently
+    // being dispatched, so EventQueue::schedule() takes its fused
+    // pop+insert path: the edge entry is overwritten at the heap root
+    // and settles with a single sift-down.
     eq.schedule(&edgeEvent, actual);
 }
 

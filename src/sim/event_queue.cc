@@ -25,29 +25,54 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->_scheduled = true;
     ev->_squashed = false;
 
+    if (topPending) {
+        if (ev == dispatching) {
+            // Fused pop+reschedule: the dispatched entry still sits
+            // at the root (it is <= every other key, since later
+            // insertions at the same tick get larger sequence
+            // numbers), so the new key can overwrite it in place and
+            // settle with a single sift-down.
+            topPending = false;
+            heap.front() = Entry{when, ev->priority(), ev->_seq, ev};
+            siftDown(0);
+#if MCDSIM_DCHECK_IS_ON
+            MCDSIM_DCHECK(heapOrdered(),
+                          "heap order after fused reschedule");
+#endif
+            return;
+        }
+        // Some other event is being scheduled first: the stale root
+        // must leave the heap before a sift-up may trust ancestor
+        // comparisons (a same-tick, lower-priority insertion would
+        // otherwise stop above the wrong entry).
+        finishPendingRemoval();
+    }
+
     heap.push_back(Entry{when, ev->priority(), ev->_seq, ev});
     siftUp(heap.size() - 1);
 }
 
-EventQueue::Entry
-EventQueue::popTop()
+void
+EventQueue::removeTop()
 {
-    Entry top = heap.front();
     heap.front() = heap.back();
     heap.pop_back();
     if (!heap.empty())
         siftDown(0);
-    return top;
 }
 
 bool
 EventQueue::step()
 {
+    MCDSIM_CHECK(dispatching == nullptr,
+                 "EventQueue::step() reentered from process()");
     if (heap.empty())
         return false;
 
+#if MCDSIM_DCHECK_IS_ON
     MCDSIM_DCHECK(heapOrdered(), "event queue heap order violated");
-    Entry top = popTop();
+#endif
+    const Entry top = heap.front();
     // Ordering monotonicity: the documented determinism guarantee
     // (pure function of config and seed) rests on time never flowing
     // backwards through the dispatch loop.
@@ -63,9 +88,27 @@ EventQueue::step()
         // Consume the squashed entry without processing; the caller's
         // time-limit check is re-evaluated before the next entry.
         ev->_squashed = false;
+        removeTop();
         return true;
     }
     ++processed;
+
+    // Defer the root removal: if process() reschedules this event
+    // (the dominant clock-edge pattern), schedule() fuses the removal
+    // and insertion into one sift-down. The guard also restores
+    // queue consistency if process() throws (test-mode CheckFailure).
+    dispatching = ev;
+    topPending = true;
+    struct DispatchGuard
+    {
+        EventQueue &q;
+        ~DispatchGuard()
+        {
+            q.dispatching = nullptr;
+            q.finishPendingRemoval();
+        }
+    } guard{*this};
+
     ev->process();
     return true;
 }
@@ -87,6 +130,7 @@ EventQueue::nextEventTick() const
     return heap.empty() ? maxTick : heap.front().when;
 }
 
+#if MCDSIM_DCHECK_IS_ON
 bool
 EventQueue::heapOrdered() const
 {
@@ -96,6 +140,7 @@ EventQueue::heapOrdered() const
     }
     return true;
 }
+#endif
 
 void
 EventQueue::siftUp(std::size_t i)

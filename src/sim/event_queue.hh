@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.hh"
 #include "common/types.hh"
 
 namespace mcd
@@ -120,8 +121,20 @@ class EventQueue
     /**
      * Schedule @p ev at absolute time @p when (>= now()). Panics if
      * the event is already scheduled or the time is in the past.
+     *
+     * Hot path: when the event being dispatched reschedules itself
+     * from inside process() — the clock-edge and sampler pattern that
+     * dominates every run — the queue fuses the implicit pop with the
+     * new insertion by overwriting the heap root in place and sifting
+     * down once, instead of a pop-sift followed by a push-sift. The
+     * fusion is purely structural: (when, priority, seq) keys are
+     * assigned exactly as on the slow path, so dispatch order — and
+     * therefore simulation output — is identical.
      */
     void schedule(Event *ev, Tick when);
+
+    /** Pre-size the heap so steady-state runs never reallocate. */
+    void reserve(std::size_t capacity) { heap.reserve(capacity); }
 
     /** Process events until the queue empties or now() > @p limit. */
     void runUntil(Tick limit);
@@ -132,7 +145,12 @@ class EventQueue
      */
     bool step();
 
-    /** True when no events remain. */
+    /**
+     * True when no events remain. During a process() callback the
+     * entry being dispatched is still counted by empty()/size() until
+     * it is consumed or fused (callers only observe the queue between
+     * steps, where both are exact).
+     */
     bool empty() const { return heap.empty(); }
 
     /** Number of scheduled (including squashed) events. */
@@ -165,15 +183,40 @@ class EventQueue
 
     void siftUp(std::size_t i);
     void siftDown(std::size_t i);
-    Entry popTop();
 
-    /** O(n) heap-property validation; used by debug-build invariants. */
+    /** Remove the root entry (swap-with-back + one sift-down). */
+    void removeTop();
+
+    /** Complete a deferred root removal, if one is pending. */
+    void
+    finishPendingRemoval()
+    {
+        if (topPending) {
+            topPending = false;
+            removeTop();
+        }
+    }
+
+#if MCDSIM_DCHECK_IS_ON
+    /** O(n) heap-property validation; debug builds only — release
+     *  builds do not even compile the walk. */
     bool heapOrdered() const;
+#endif
 
     std::vector<Entry> heap;
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t processed = 0;
+
+    /** Event whose process() is on the stack, else nullptr. */
+    Event *dispatching = nullptr;
+
+    /**
+     * True while the dispatched event's entry still occupies the heap
+     * root: its removal is deferred so a self-reschedule can reuse
+     * the slot (one sift-down instead of pop-sift + push-sift).
+     */
+    bool topPending = false;
 };
 
 } // namespace mcd

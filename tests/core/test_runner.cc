@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/runner.hh"
+#include "exec/parallel_runner.hh"
 
 namespace mcd
 {

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parallel-vs-serial determinism: the execution layer promises that a
+ * suite executed through the worker pool is byte-identical to the
+ * same suite executed serially. This runs the same task list under
+ * MCDSIM_JOBS=1 and MCDSIM_JOBS=8 (the environment path the harness
+ * knob uses) and compares the fully serialized reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "exec/parallel_runner.hh"
+
+namespace mcd
+{
+namespace
+{
+
+/** RAII guard for an environment variable. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : varName(name)
+    {
+        const char *old = std::getenv(name);
+        hadOld = old != nullptr;
+        if (hadOld)
+            oldValue = old;
+        ::setenv(name, value, 1);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld)
+            ::setenv(varName, oldValue.c_str(), 1);
+        else
+            ::unsetenv(varName);
+    }
+
+  private:
+    const char *varName;
+    std::string oldValue;
+    bool hadOld = false;
+};
+
+/** Serialized bytes of one suite sweep under the current MCDSIM_JOBS. */
+std::string
+sweepBytes()
+{
+    RunOptions opts;
+    opts.instructions = 80000;
+    opts.recordTraces = true; // traces widen the surface a race could hit
+    const auto shared = shareOptions(opts);
+
+    std::vector<RunTask> tasks;
+    for (const char *name : {"gzip", "epic_decode", "adpcm_enc"}) {
+        tasks.push_back(mcdBaselineTask(name, shared));
+        tasks.push_back(schemeTask(name, ControllerKind::Adaptive, shared));
+        tasks.push_back(schemeTask(name, ControllerKind::Pid, shared));
+    }
+    // Per-task seeds exercise the seed-sweep path as well.
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        tasks[i].seed = 1 + i % 3;
+
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
+
+    std::ostringstream os;
+    os << resultCsvHeader() << '\n';
+    for (const auto &r : results)
+        os << resultJson(r) << '\n' << resultCsvRow(r) << '\n';
+    return os.str();
+}
+
+/** Serialized comparison table under the current MCDSIM_JOBS. */
+std::string
+comparisonBytes()
+{
+    RunOptions opts;
+    opts.instructions = 60000;
+    const auto rows = runComparison(
+        {"gzip", "swim"},
+        {ControllerKind::Adaptive, ControllerKind::AttackDecay}, opts);
+    std::ostringstream os;
+    writeComparisonCsv(os, rows);
+    return os.str();
+}
+
+TEST(ParallelDeterminism, JobsOneVsEightByteIdentical)
+{
+    setConfiguredJobs(0); // make the environment variable decisive
+    std::string serial, parallel;
+    {
+        ScopedEnv env("MCDSIM_JOBS", "1");
+        ASSERT_EQ(ParallelRunner().jobs(), 1u);
+        serial = sweepBytes();
+    }
+    {
+        ScopedEnv env("MCDSIM_JOBS", "8");
+        ASSERT_EQ(ParallelRunner().jobs(), 8u);
+        parallel = sweepBytes();
+    }
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel)
+        << "a suite executed with 8 workers is not byte-identical to "
+           "the serial execution";
+}
+
+TEST(ParallelDeterminism, ComparisonTableJobsOneVsEightByteIdentical)
+{
+    setConfiguredJobs(0);
+    std::string serial, parallel;
+    {
+        ScopedEnv env("MCDSIM_JOBS", "1");
+        serial = comparisonBytes();
+    }
+    {
+        ScopedEnv env("MCDSIM_JOBS", "8");
+        parallel = comparisonBytes();
+    }
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+} // namespace
+} // namespace mcd

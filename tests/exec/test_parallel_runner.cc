@@ -1,0 +1,155 @@
+/** @file Tests for ParallelRunner and the jobs configuration knob. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hh"
+#include "core/report.hh"
+#include "exec/parallel_runner.hh"
+
+namespace mcd
+{
+namespace
+{
+
+RunOptions
+quickOpts()
+{
+    RunOptions opts;
+    opts.instructions = 60000;
+    return opts;
+}
+
+/** Full serialized report bytes for one result. */
+std::string
+serialize(const SimResult &r)
+{
+    std::ostringstream os;
+    os << resultJson(r) << '\n' << resultCsvHeader() << '\n'
+       << resultCsvRow(r) << '\n';
+    return os.str();
+}
+
+std::vector<RunTask>
+mixedTasks(const std::shared_ptr<const RunOptions> &shared)
+{
+    return {
+        mcdBaselineTask("gzip", shared),
+        schemeTask("gzip", ControllerKind::Adaptive, shared),
+        schemeTask("gzip", ControllerKind::Pid, shared),
+        syncBaselineTask("epic_decode", shared),
+        schemeTask("epic_decode", ControllerKind::AttackDecay, shared),
+        schemeTask("adpcm_enc", ControllerKind::Adaptive, shared),
+    };
+}
+
+/** RAII guard for an environment variable. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : varName(name)
+    {
+        const char *old = std::getenv(name);
+        hadOld = old != nullptr;
+        if (hadOld)
+            oldValue = old;
+        ::setenv(name, value, 1);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld)
+            ::setenv(varName, oldValue.c_str(), 1);
+        else
+            ::unsetenv(varName);
+    }
+
+  private:
+    const char *varName;
+    std::string oldValue;
+    bool hadOld = false;
+};
+
+TEST(ParallelRunner, SingleJobMatchesDirectSerialCalls)
+{
+    const auto shared = shareOptions(quickOpts());
+    const auto tasks = mixedTasks(shared);
+
+    std::vector<SimResult> direct;
+    for (const auto &t : tasks)
+        direct.push_back(runTask(t));
+
+    const auto pooled = ParallelRunner(1).run(tasks);
+    ASSERT_EQ(pooled.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_EQ(serialize(pooled[i]), serialize(direct[i]))
+            << "task " << i;
+}
+
+TEST(ParallelRunner, ResultsComeBackInSubmissionOrder)
+{
+    // Oversubscribe heavily so completion order scrambles relative to
+    // submission order whenever the host allows it.
+    const auto shared = shareOptions(quickOpts());
+    const auto tasks = mixedTasks(shared);
+
+    const auto serial = ParallelRunner(1).run(tasks);
+    const auto parallel = ParallelRunner(8).run(tasks);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serialize(parallel[i]), serialize(serial[i]))
+            << "task " << i;
+}
+
+TEST(ParallelRunner, TaskSeedOverridesSharedOptions)
+{
+    const auto shared = shareOptions(quickOpts());
+    RunTask a = schemeTask("mpeg2_dec", ControllerKind::Adaptive, shared);
+    RunTask b = a;
+    b.seed = a.seed + 41;
+    const auto results = ParallelRunner(2).run({a, b});
+    EXPECT_NE(serialize(results[0]), serialize(results[1]))
+        << "per-task seed had no effect";
+}
+
+TEST(ParallelRunner, ExceptionInTaskPropagatesAfterAllFinish)
+{
+    ScopedCheckThrower thrower;
+    const auto shared = shareOptions(quickOpts());
+    std::vector<RunTask> tasks = mixedTasks(shared);
+    tasks[1].opts.reset(); // runTask() checks this and fails
+
+    EXPECT_THROW(ParallelRunner(4).run(tasks), CheckFailure);
+    EXPECT_THROW(ParallelRunner(1).run(tasks), CheckFailure);
+}
+
+TEST(ConfiguredJobs, OverrideBeatsEnvironment)
+{
+    ScopedEnv env("MCDSIM_JOBS", "2");
+    EXPECT_EQ(configuredJobs(), 2u);
+    setConfiguredJobs(5);
+    EXPECT_EQ(configuredJobs(), 5u);
+    EXPECT_EQ(ParallelRunner().jobs(), 5u);
+    setConfiguredJobs(0); // restore automatic
+    EXPECT_EQ(configuredJobs(), 2u);
+}
+
+TEST(ConfiguredJobs, MalformedEnvironmentFallsBackToHardware)
+{
+    setConfiguredJobs(0);
+    std::size_t hw;
+    {
+        ScopedEnv env("MCDSIM_JOBS", "");
+        hw = configuredJobs();
+    }
+    EXPECT_GE(hw, 1u);
+    ScopedEnv env("MCDSIM_JOBS", "not-a-number");
+    EXPECT_EQ(configuredJobs(), hw);
+}
+
+} // namespace
+} // namespace mcd

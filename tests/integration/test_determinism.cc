@@ -21,7 +21,17 @@ namespace mcd
 namespace
 {
 
-/** Full serialized report for one end-to-end run: JSON + CSV bytes. */
+/** Serialized report bytes for one result: JSON + CSV. */
+std::string
+serialize(const SimResult &r)
+{
+    std::ostringstream os;
+    os << resultJson(r) << '\n' << resultCsvHeader() << '\n'
+       << resultCsvRow(r) << '\n';
+    return os.str();
+}
+
+/** Full serialized report for one end-to-end run. */
 std::string
 serializedRun(const std::string &benchmark, ControllerKind kind,
               std::uint64_t seed)
@@ -30,12 +40,7 @@ serializedRun(const std::string &benchmark, ControllerKind kind,
     opts.instructions = 120000;
     opts.seed = seed;
     opts.recordTraces = true;
-    const SimResult r = runBenchmark(benchmark, kind, opts);
-
-    std::ostringstream os;
-    os << resultJson(r) << '\n' << resultCsvHeader() << '\n'
-       << resultCsvRow(r) << '\n';
-    return os.str();
+    return serialize(runBenchmark(benchmark, kind, opts));
 }
 
 TEST(Determinism, SameSeedSameBytes)
@@ -49,14 +54,33 @@ TEST(Determinism, SameSeedSameBytes)
 
 TEST(Determinism, SeedSweepEachSeedReproducible)
 {
+    // The sweep fans out through the execution layer, using the
+    // per-task seed override on one shared options copy — every seed
+    // is run twice and each pair must match bytewise.
     const std::vector<std::uint64_t> seeds = {1, 7, 42};
-    std::vector<std::string> reports;
+    RunOptions opts;
+    opts.instructions = 120000;
+    opts.recordTraces = true;
+    const auto shared = shareOptions(opts);
+
+    std::vector<RunTask> tasks;
+    tasks.reserve(seeds.size() * 2);
     for (const auto seed : seeds) {
-        const std::string first =
-            serializedRun("mpeg2_dec", ControllerKind::Adaptive, seed);
-        const std::string second =
-            serializedRun("mpeg2_dec", ControllerKind::Adaptive, seed);
-        EXPECT_EQ(first, second) << "seed " << seed << " not reproducible";
+        for (int rep = 0; rep < 2; ++rep) {
+            RunTask t =
+                schemeTask("mpeg2_dec", ControllerKind::Adaptive, shared);
+            t.seed = seed;
+            tasks.push_back(std::move(t));
+        }
+    }
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
+
+    std::vector<std::string> reports;
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        const std::string first = serialize(results[2 * i]);
+        const std::string second = serialize(results[2 * i + 1]);
+        EXPECT_EQ(first, second)
+            << "seed " << seeds[i] << " not reproducible";
         reports.push_back(first);
     }
     // The seed must actually matter: otherwise this test would pass

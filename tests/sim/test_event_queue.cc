@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/random.hh"
 #include "sim/event_queue.hh"
 
 namespace mcd
@@ -201,6 +204,127 @@ TEST(EventQueueDeath, PastSchedulePanics)
     eq.schedule(&a, 100);
     eq.runUntil(100);
     EXPECT_DEATH(eq.schedule(&b, 50), "in the past");
+}
+
+TEST(EventQueue, SameTickLowerPriorityInsertionDuringProcess)
+{
+    // Regression test for the fused reschedule path: while an event's
+    // process() runs, its heap entry lingers at the root awaiting
+    // fusion. An insertion at the same tick with a *lower* priority
+    // value must still land ahead of everything else — the queue has
+    // to complete the deferred removal before the sift-up, or the new
+    // entry could settle above the stale root and corrupt the order.
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent urgent(log, 2, 0);   // inserted mid-process at the same tick
+    LogEvent later(log, 3, 7);    // pre-existing same-tick event
+
+    struct Inserter : Event
+    {
+        EventQueue &q;
+        std::vector<int> &log;
+        Event &toInsert;
+        Inserter(EventQueue &queue, std::vector<int> &log_ref, Event &ins)
+            : Event(5), q(queue), log(log_ref), toInsert(ins)
+        {}
+        void
+        process() override
+        {
+            log.push_back(1);
+            q.schedule(&toInsert, q.now()); // same tick, priority 0
+            q.schedule(this, q.now() + 100);
+        }
+        const char *name() const override { return "inserter"; }
+    } inserter(eq, log, urgent);
+
+    eq.schedule(&inserter, 100);
+    eq.schedule(&later, 100);
+    eq.runUntil(150);
+    // inserter (prio 5) runs before later (prio 7); the mid-process
+    // urgent event (prio 0) jumps the same-tick queue.
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(inserter.scheduled()); // self-rescheduled to 200
+}
+
+TEST(EventQueue, FusedRescheduleEquivalentToPopPlusPush)
+{
+    // The same randomized edge stream driven through two queues: in
+    // queue A every ticker reschedules itself from inside process()
+    // (the fused overwrite-root path); in queue B the reschedule is
+    // issued by the driver after step() returns (the plain pop + push
+    // path). Identical plans must yield identical dispatch orders.
+    struct PlannedTicker : Event
+    {
+        EventQueue &q;
+        std::vector<std::pair<int, Tick>> &log;
+        int id;
+        std::vector<Tick> intervals;
+        std::size_t next = 0;
+        bool inside; ///< reschedule from within process()?
+
+        PlannedTicker(EventQueue &queue,
+                      std::vector<std::pair<int, Tick>> &log_ref, int id_,
+                      int priority, std::vector<Tick> plan, bool in)
+            : Event(priority), q(queue), log(log_ref), id(id_),
+              intervals(std::move(plan)), inside(in)
+        {}
+
+        void
+        process() override
+        {
+            log.push_back({id, q.now()});
+            if (inside && next < intervals.size())
+                q.schedule(this, q.now() + intervals[next++]);
+        }
+        const char *name() const override { return "planned-ticker"; }
+    };
+
+    // One shared plan: per ticker a priority, a start tick, and a
+    // randomized interval sequence (with deliberate collisions: small
+    // interval values make same-tick meetings frequent).
+    constexpr int tickers = 16;
+    constexpr int edges = 400;
+    Rng rng(7);
+    std::vector<int> priorities;
+    std::vector<Tick> starts;
+    std::vector<std::vector<Tick>> plans;
+    for (int t = 0; t < tickers; ++t) {
+        priorities.push_back(static_cast<int>(rng.below(4)));
+        starts.push_back(1 + rng.below(8));
+        std::vector<Tick> plan;
+        for (int e = 0; e < edges; ++e)
+            plan.push_back(1 + rng.below(7));
+        plans.push_back(std::move(plan));
+    }
+
+    auto drive = [&](bool inside) {
+        EventQueue eq;
+        std::vector<std::pair<int, Tick>> log;
+        std::vector<std::unique_ptr<PlannedTicker>> events;
+        for (int t = 0; t < tickers; ++t) {
+            events.push_back(std::make_unique<PlannedTicker>(
+                eq, log, t, priorities[t], plans[t], inside));
+            eq.schedule(events[t].get(), starts[t]);
+        }
+        while (!eq.empty()) {
+            const std::size_t before = log.size();
+            if (!eq.step())
+                break;
+            if (!inside && log.size() > before) {
+                auto &ev = *events[log.back().first];
+                if (ev.next < ev.intervals.size())
+                    eq.schedule(&ev, eq.now() + ev.intervals[ev.next++]);
+            }
+        }
+        return log;
+    };
+
+    std::vector<std::pair<int, Tick>> fused, plain;
+    { SCOPED_TRACE("fused"); fused = drive(true); }
+    { SCOPED_TRACE("plain"); plain = drive(false); }
+    ASSERT_EQ(fused.size(),
+              static_cast<std::size_t>(tickers) * (edges + 1));
+    EXPECT_EQ(fused, plain);
 }
 
 TEST(EventQueue, ManyEventsStressOrdering)

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/random.hh"
@@ -119,6 +120,89 @@ TEST(EventQueueStress, MatchesReferenceModelOverRandomOps)
         for (std::size_t i = 0; i < expected.size(); ++i)
             ASSERT_EQ(log[i].first, expected[i]) << "round " << round;
     }
+}
+
+/** Self-rescheduling ticker with a pre-planned interval sequence. */
+class ChainEvent : public Event
+{
+  public:
+    ChainEvent(EventQueue &queue, std::vector<int> &log_ref, int id,
+               int priority, std::vector<Tick> plan)
+        : Event(priority), q(queue), log(log_ref), _id(id),
+          intervals(std::move(plan))
+    {}
+
+    void
+    process() override
+    {
+        log.push_back(_id);
+        if (next < intervals.size())
+            q.schedule(this, q.now() + intervals[next++]);
+    }
+
+    const char *name() const override { return "chain-event"; }
+
+  private:
+    EventQueue &q;
+    std::vector<int> &log;
+    int _id;
+    std::vector<Tick> intervals;
+    std::size_t next = 0;
+};
+
+TEST(EventQueueStress, SelfReschedulingChainsMatchReferenceModel)
+{
+    // Every dispatch in this test exercises the fused reschedule path
+    // (each event reschedules itself from inside process()). Unique
+    // per-event priorities make the expected order computable without
+    // modelling insertion sequence numbers: merge all chains by
+    // (tick, priority).
+    Rng rng(4057);
+    constexpr int chains = 24;
+    constexpr int edges = 300;
+
+    EventQueue eq;
+    eq.reserve(chains); // steady state: one pending edge per chain
+    std::vector<int> log;
+    std::vector<std::unique_ptr<ChainEvent>> events;
+
+    struct RefEdge
+    {
+        Tick when;
+        int priority;
+        int id;
+    };
+    std::vector<RefEdge> expected;
+
+    for (int c = 0; c < chains; ++c) {
+        const Tick start = 1 + rng.below(10);
+        std::vector<Tick> plan;
+        Tick when = start;
+        expected.push_back({when, c, c});
+        for (int e = 0; e < edges; ++e) {
+            const Tick dt = 1 + rng.below(9); // small: frequent ties
+            plan.push_back(dt);
+            when += dt;
+            expected.push_back({when, c, c});
+        }
+        events.push_back(std::make_unique<ChainEvent>(
+            eq, log, c, /*priority=*/c, std::move(plan)));
+        eq.schedule(events.back().get(), start);
+    }
+
+    std::sort(expected.begin(), expected.end(),
+              [](const RefEdge &a, const RefEdge &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  return a.priority < b.priority;
+              });
+
+    eq.runUntil(maxTick);
+    ASSERT_EQ(log.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        ASSERT_EQ(log[i], expected[i].id) << "dispatch " << i;
+    EXPECT_EQ(eq.processedCount(), expected.size());
+    EXPECT_TRUE(eq.empty());
 }
 
 } // namespace

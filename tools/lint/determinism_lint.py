@@ -28,6 +28,13 @@ Rules (applied to src/**/*.{hh,cc}):
                     assert() compiles out under NDEBUG, silently
                     unchecking invariants in the build users run; use
                     MCDSIM_CHECK / MCDSIM_DCHECK / MCDSIM_INVARIANT.
+  no-threading      No std::thread/jthread, mutexes, condition
+                    variables, atomics, or futures outside src/exec/.
+                    Threads live only in the execution layer, which
+                    parallelizes whole runs; inside a simulation every
+                    event executes on one thread in queue order, and
+                    any concurrency there would let the host scheduler
+                    leak into simulated results.
 
 Suppress a finding with a trailing  // lint:allow(rule-name)  comment.
 
@@ -203,12 +210,41 @@ def check_no_assert(relpath, lines):
                    "/ MCDSIM_INVARIANT from common/check.hh")
 
 
+THREADING_PATTERNS = [
+    (re.compile(r"\bstd::(?:jthread|thread)\b"), "std::thread/jthread"),
+    (re.compile(r"\bstd::(?:recursive_|shared_|timed_)*mutex\b"),
+     "std::mutex family"),
+    (re.compile(r"\bstd::condition_variable(?:_any)?\b"),
+     "std::condition_variable"),
+    (re.compile(r"\bstd::atomic\b"), "std::atomic"),
+    (re.compile(r"\bstd::(?:async|future|promise|packaged_task)\b"),
+     "std::future/async"),
+    (re.compile(r"\bstd::(?:unique|scoped|shared)_lock\b"),
+     "std::lock wrappers"),
+    (re.compile(r"\bpthread_\w+"), "raw pthreads"),
+]
+
+
+def check_no_threading(relpath, lines):
+    if relpath.startswith("src/exec/"):
+        return
+    for lineno, line in lines:
+        for pat, what in THREADING_PATTERNS:
+            if pat.search(line):
+                yield (lineno,
+                       f"{what} outside src/exec/: simulation code runs "
+                       "single-threaded in event-queue order; concurrency "
+                       "belongs in the execution layer")
+                break
+
+
 RULES = [
     ("no-wallclock", check_wallclock),
     ("no-pointer-keyed-unordered", check_pointer_keyed),
     ("event-priority", check_event_priority),
     ("no-raw-new-delete", check_raw_new_delete),
     ("no-assert", check_no_assert),
+    ("no-threading", check_no_threading),
 ]
 
 
@@ -270,6 +306,12 @@ SELF_TEST_CASES = [
      "void f() { auto *p = new int(3); delete p; }\n"),
     ("no-assert", "src/core/bad7.cc",
      "#include <cassert>\nvoid f(int x) { assert(x > 0); }\n"),
+    ("no-threading", "src/core/bad8.cc",
+     "#include <thread>\nstd::jthread worker;\n"),
+    ("no-threading", "src/mcd/bad9.cc",
+     "std::mutex mtx;\nstd::condition_variable cv;\n"),
+    ("no-threading", "src/dvfs/bad10.cc",
+     "#include <atomic>\nstd::atomic<int> flag{0};\n"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -289,6 +331,13 @@ SELF_TEST_CLEAN = [
      "void g() { auto *p = new int(1); delete p; }\n"),
     ("src/core/allowed.cc",
      "long t = time(nullptr); // lint:allow(no-wallclock)\n"),
+    # The execution layer is the one place threads are allowed.
+    ("src/exec/pool.cc",
+     "#include <thread>\n"
+     "std::jthread worker;\n"
+     "std::mutex mtx;\n"
+     "std::condition_variable_any cv;\n"
+     "std::atomic<int> jobs{0};\n"),
 ]
 
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Build the release benchmark binary and record the execution-layer
+# wall-clock numbers into BENCH_exec.json at the repo root.
+#
+# Usage: tools/perf/run_bench.sh [jobs]
+#   jobs  worker threads for the parallel sweep (default: all cores)
+#
+# Methodology (see EXPERIMENTS.md "Wall-clock methodology"): one suite
+# sweep (MCD baseline + adaptive per benchmark) is timed twice — once
+# forced serial, once through the worker pool — on an otherwise idle
+# host. Simulated results are compared between the two sweeps, so a
+# BENCH_exec.json produced by this script also certifies that the
+# parallel path reproduced the serial results.
+
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/../.." && pwd)
+build_dir="$repo_root/build-perf"
+jobs="${1:-}"
+
+cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
+    -DMCDSIM_WERROR=OFF >/dev/null
+cmake --build "$build_dir" --target bench_wallclock -j "$(nproc)" \
+    >/dev/null
+
+args=()
+if [[ -n "$jobs" ]]; then
+    args+=(--jobs "$jobs")
+fi
+
+"$build_dir/bench/bench_wallclock" "${args[@]}" \
+    > "$repo_root/BENCH_exec.json"
+echo "wrote $repo_root/BENCH_exec.json:"
+cat "$repo_root/BENCH_exec.json"
