@@ -19,6 +19,7 @@ main(int argc, char **argv)
 
     RunOptions opts;
     opts.instructions = mcdbench::runLength(400000);
+    mcdbench::applyObservability(opts);
 
     const std::vector<std::string> names = {"mpeg2_dec", "epic_decode",
                                             "gzip"};
@@ -43,6 +44,7 @@ main(int argc, char **argv)
             tasks.push_back(schemeTask(name, ControllerKind::Adaptive, ro));
     }
     const std::vector<SimResult> results = ParallelRunner().run(tasks);
+    mcdbench::emitObservability(results);
 
     std::size_t idx = 0;
     for (const auto &name : names) {

@@ -49,6 +49,7 @@ main(int argc, char **argv)
     mcdbench::rule(52);
     RunOptions opts;
     opts.instructions = mcdbench::runLength(400000);
+    mcdbench::applyObservability(opts);
 
     const std::vector<const char *> names = {"mpeg2_dec", "adpcm_enc"};
     const std::vector<double> windows = {0.0, 1.0, 3.0};
@@ -70,6 +71,7 @@ main(int argc, char **argv)
             tasks.push_back(schemeTask(name, ControllerKind::Adaptive, wo));
     }
     const std::vector<SimResult> results = ParallelRunner().run(tasks);
+    mcdbench::emitObservability(results);
 
     std::size_t idx = 0;
     for (const char *name : names) {

@@ -23,6 +23,7 @@ main(int argc, char **argv)
 
     RunOptions opts;
     opts.instructions = mcdbench::runLength(400000);
+    mcdbench::applyObservability(opts);
 
     std::printf("%-12s %-8s | %12s | %8s %8s %8s\n", "benchmark",
                 "partition", "baseline-ms", "E-sav%", "P-deg%",
@@ -50,6 +51,7 @@ main(int argc, char **argv)
         }
     }
     const std::vector<SimResult> results = ParallelRunner().run(tasks);
+    mcdbench::emitObservability(results);
 
     double overhead_sum = 0.0;
     int n = 0;

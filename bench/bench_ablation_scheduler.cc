@@ -19,6 +19,7 @@ main(int argc, char **argv)
 
     RunOptions opts;
     opts.instructions = mcdbench::runLength(400000);
+    mcdbench::applyObservability(opts);
 
     struct Variant
     {
@@ -50,6 +51,7 @@ main(int argc, char **argv)
             tasks.push_back(schemeTask(name, ControllerKind::Adaptive, vo));
     }
     const std::vector<SimResult> results = ParallelRunner().run(tasks);
+    mcdbench::emitObservability(results);
 
     std::printf("%-12s %-28s | %8s %8s %8s %10s\n", "benchmark",
                 "variant", "E-sav%", "P-deg%", "EDP+%", "cancels");

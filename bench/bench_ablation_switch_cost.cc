@@ -21,6 +21,7 @@ main(int argc, char **argv)
 
     RunOptions opts;
     opts.instructions = mcdbench::runLength(400000);
+    mcdbench::applyObservability(opts);
 
     struct Variant
     {
@@ -68,6 +69,7 @@ main(int argc, char **argv)
         }
     }
     const std::vector<SimResult> results = ParallelRunner().run(tasks);
+    mcdbench::emitObservability(results);
 
     std::printf("%-12s %-34s | %8s %8s %8s %8s\n", "benchmark",
                 "variant", "E-sav%", "P-deg%", "EDP+%", "trans");

@@ -42,9 +42,30 @@ runLength(std::uint64_t def = 600000)
 }
 
 /**
- * Harness command-line entry point: understands `--jobs N` (and
- * `--jobs=N`), forwarding the value to the execution layer so it
- * takes precedence over MCDSIM_JOBS. Call once at the top of main().
+ * @{ Destination paths from `--stats-out` / `--trace-out` ("" = that
+ * side of the observability layer stays off). Function-local statics
+ * so the header stays include-anywhere.
+ */
+inline std::string &
+statsOutPath()
+{
+    static std::string path;
+    return path;
+}
+
+inline std::string &
+traceOutPath()
+{
+    static std::string path;
+    return path;
+}
+/** @} */
+
+/**
+ * Harness command-line entry point: understands `--jobs N`
+ * (forwarded to the execution layer, taking precedence over
+ * MCDSIM_JOBS), `--stats-out PATH` and `--trace-out PATH` (each also
+ * in `--flag=value` form). Call once at the top of main().
  * Unrecognised arguments abort with a usage message so typos are not
  * silently ignored.
  */
@@ -54,7 +75,8 @@ parseHarnessArgs(int argc, char **argv)
     auto usage = [&](const char *bad) {
         std::fprintf(stderr,
                      "%s: unrecognised argument '%s'\n"
-                     "usage: %s [--jobs N]\n",
+                     "usage: %s [--jobs N] [--stats-out PATH] "
+                     "[--trace-out PATH]\n",
                      argv[0], bad, argv[0]);
         std::exit(2);
     };
@@ -79,10 +101,117 @@ parseHarnessArgs(int argc, char **argv)
             parseJobs(argv[++i]);
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
             parseJobs(arg + 7);
+        } else if (std::strcmp(arg, "--stats-out") == 0) {
+            if (i + 1 >= argc)
+                usage(arg);
+            statsOutPath() = argv[++i];
+        } else if (std::strncmp(arg, "--stats-out=", 12) == 0) {
+            statsOutPath() = arg + 12;
+        } else if (std::strcmp(arg, "--trace-out") == 0) {
+            if (i + 1 >= argc)
+                usage(arg);
+            traceOutPath() = argv[++i];
+        } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+            traceOutPath() = arg + 12;
         } else {
             usage(arg);
         }
     }
+}
+
+/**
+ * Turn on the observability the command line asked for: stats
+ * collection when --stats-out was given, Chrome tracing when
+ * --trace-out was. Call after building RunOptions, before sharing it
+ * among tasks.
+ */
+inline void
+applyObservability(mcd::RunOptions &opts)
+{
+    if (!statsOutPath().empty())
+        opts.collectStats = true;
+    if (!traceOutPath().empty())
+        opts.trace.enabled = true;
+}
+
+inline void
+writeArtifact(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        std::fprintf(stderr, "mcdsim: cannot write '%s'\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    if (!text.empty())
+        std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+/**
+ * Write the stats / trace artifacts the command line asked for.
+ *
+ * Stats from every run land in one pair of files: text sections at
+ * the --stats-out path, a JSON array of per-run objects at that path
+ * + ".json". Chrome traces cannot be concatenated (one document per
+ * timeline), so a single traced run writes exactly the --trace-out
+ * path and N runs write path.0 .. path.N-1, in task-submission order
+ * either way — byte-identical at any --jobs count.
+ */
+inline void
+emitObservability(const std::vector<mcd::SimResult> &results)
+{
+    if (!statsOutPath().empty()) {
+        std::string text, json = "[";
+        bool first = true;
+        std::size_t idx = 0;
+        for (const auto &r : results) {
+            text += "# run " + std::to_string(idx++) + ": " +
+                    r.benchmark + " / " + r.controller + "\n";
+            text += r.statsText;
+            if (!first)
+                json += ",";
+            first = false;
+            json += "\n" + (r.statsJson.empty() ? std::string("{}")
+                                                : r.statsJson);
+        }
+        json += "\n]\n";
+        writeArtifact(statsOutPath(), text);
+        writeArtifact(statsOutPath() + ".json", json);
+    }
+    if (!traceOutPath().empty()) {
+        std::size_t traced = 0;
+        for (const auto &r : results)
+            traced += r.traceJson.empty() ? 0 : 1;
+        std::size_t idx = 0;
+        for (const auto &r : results) {
+            if (r.traceJson.empty())
+                continue;
+            const std::string path =
+                traced == 1 ? traceOutPath()
+                            : traceOutPath() + "." + std::to_string(idx);
+            writeArtifact(path, r.traceJson);
+            ++idx;
+        }
+    }
+}
+
+/** Single-run convenience overload (figure-style harnesses). */
+inline void
+emitObservability(const mcd::SimResult &result)
+{
+    emitObservability(std::vector<mcd::SimResult>{result});
+}
+
+/** Comparison-table overload: emits each row's scheme run. */
+inline void
+emitObservability(const std::vector<mcd::ComparisonRow> &rows)
+{
+    std::vector<mcd::SimResult> results;
+    results.reserve(rows.size());
+    for (const auto &row : rows)
+        results.push_back(row.result);
+    emitObservability(results);
 }
 
 /** All benchmark names, in suite order. */

@@ -61,6 +61,7 @@ main(int argc, char **argv)
 
     RunOptions opts;
     opts.instructions = mcdbench::runLength(400000);
+    mcdbench::applyObservability(opts);
 
     const std::vector<const char *> names = {"adpcm_enc", "swim"};
     const auto shared = shareOptions(opts);
@@ -71,6 +72,7 @@ main(int argc, char **argv)
         tasks.push_back(schemeTask(name, ControllerKind::Adaptive, shared));
     }
     const std::vector<SimResult> results = ParallelRunner().run(tasks);
+    mcdbench::emitObservability(results);
 
     std::size_t idx = 0;
     for (const char *name : names) {

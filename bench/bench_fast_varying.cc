@@ -43,6 +43,7 @@ main(int argc, char **argv)
 
     RunOptions opts;
     opts.instructions = mcdbench::runLength();
+    mcdbench::applyObservability(opts);
 
     const std::vector<ControllerKind> kinds = {
         ControllerKind::Adaptive, ControllerKind::Pid,
@@ -62,6 +63,7 @@ main(int argc, char **argv)
             tasks.push_back(schemeTask(info.name, kind, shared));
     }
     const std::vector<SimResult> results = ParallelRunner().run(tasks);
+    mcdbench::emitObservability(results);
 
     std::printf("%-12s %-6s | %-14s %8s %8s %8s\n", "benchmark",
                 "class", "scheme", "E-sav%", "P-deg%", "EDP+%");

@@ -22,9 +22,11 @@ main(int argc, char **argv)
     RunOptions opts;
     opts.instructions = mcdbench::runLength(1000000);
     opts.recordTraces = true;
+    mcdbench::applyObservability(opts);
     const SimResult r = runTask(
         schemeTask("epic_decode", ControllerKind::Adaptive,
                    shareOptions(std::move(opts))));
+    mcdbench::emitObservability(r);
 
     const std::size_t buckets = 60;
     const auto freq = r.fpFreqTrace.bucketMeans(buckets);

@@ -26,8 +26,10 @@ main(int argc, char **argv)
     opts.instructions = mcdbench::runLength(600000);
     opts.recordTraces = true;
     opts.config.traceStride = 1;
+    mcdbench::applyObservability(opts);
     const SimResult r = runTask(
         mcdBaselineTask("epic_decode", shareOptions(std::move(opts))));
+    mcdbench::emitObservability(r);
 
     const double fs = 250e6; // sampling rate
     const auto vs = sineMultitaperPsd(r.intQueueTrace.valueData(), fs, 6);

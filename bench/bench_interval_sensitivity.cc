@@ -25,6 +25,7 @@ main(int argc, char **argv)
 
     RunOptions opts;
     opts.instructions = mcdbench::runLength();
+    mcdbench::applyObservability(opts);
 
     const auto group = mcdbench::fastVaryingBenchmarks();
     // Intervals in sampling periods: 10 us down to 0.625 us.
@@ -58,6 +59,7 @@ main(int argc, char **argv)
                 schemeTask(name, ControllerKind::Pid, shared_interval));
     }
     const std::vector<SimResult> results = ParallelRunner().run(tasks);
+    mcdbench::emitObservability(results);
 
     // Adaptive reference.
     double ae = 0, ap = 0, aedp = 0;

@@ -29,6 +29,7 @@ main(int argc, char **argv)
 
     RunOptions opts;
     opts.instructions = mcdbench::runLength();
+    mcdbench::applyObservability(opts);
     std::printf("(instructions per run: %llu; set MCDSIM_INSTS to "
                 "change)\n\n",
                 static_cast<unsigned long long>(opts.instructions));
@@ -59,6 +60,7 @@ main(int argc, char **argv)
             tasks.push_back(schemeTask(info.name, kind, shared));
     }
     const std::vector<SimResult> results = ParallelRunner().run(tasks);
+    mcdbench::emitObservability(results);
 
     struct Avg
     {

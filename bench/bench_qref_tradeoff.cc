@@ -26,6 +26,7 @@ main(int argc, char **argv)
 
     RunOptions opts;
     opts.instructions = mcdbench::runLength(400000);
+    mcdbench::applyObservability(opts);
 
     struct Setting
     {
@@ -66,6 +67,7 @@ main(int argc, char **argv)
                 schemeTask(n, ControllerKind::Adaptive, setting_opts));
     }
     const std::vector<SimResult> results = ParallelRunner().run(tasks);
+    mcdbench::emitObservability(results);
 
     double prev_e = -1.0;
     bool monotone_energy = true;

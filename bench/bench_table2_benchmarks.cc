@@ -25,6 +25,7 @@ main(int argc, char **argv)
     opts.instructions = mcdbench::runLength(400000);
     opts.recordTraces = true;
     opts.config.traceStride = 1;
+    mcdbench::applyObservability(opts);
 
     // The "interesting wavelength range" of Figure 8: workload
     // variation around and just above the 2500-sample fixed interval
@@ -45,6 +46,7 @@ main(int argc, char **argv)
     for (const auto &info : suite)
         tasks.push_back(mcdBaselineTask(info.name, shared));
     const std::vector<SimResult> results = ParallelRunner().run(tasks);
+    mcdbench::emitObservability(results);
 
     int agree = 0, total = 0;
     for (std::size_t i = 0; i < suite.size(); ++i) {

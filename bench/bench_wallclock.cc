@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "bench_common.hh"
+#include "exec/exec_profile.hh"
 
 using namespace mcd;
 
@@ -83,7 +84,10 @@ main(int argc, char **argv)
     std::fprintf(stderr, "  %.3f s\n", serial.seconds);
 
     std::fprintf(stderr, "parallel sweep (jobs = %zu)...\n", par_jobs);
-    const SweepStats parallel = timedSweep(ParallelRunner(par_jobs), tasks);
+    ExecProfile profile;
+    ParallelRunner par_runner(par_jobs);
+    par_runner.setProfile(&profile);
+    const SweepStats parallel = timedSweep(par_runner, tasks);
     std::fprintf(stderr, "  %.3f s\n", parallel.seconds);
 
     if (serial.wallTicksSum != parallel.wallTicksSum ||
@@ -125,8 +129,9 @@ main(int argc, char **argv)
     std::printf("  \"parallel_insts_per_sec\": %.1f,\n",
                 static_cast<double>(parallel.instructions) /
                     parallel.seconds);
-    std::printf("  \"parallel_events_per_sec\": %.1f\n",
+    std::printf("  \"parallel_events_per_sec\": %.1f,\n",
                 static_cast<double>(parallel.events) / parallel.seconds);
+    std::printf("  \"exec_profile\": %s\n", profile.renderJson().c_str());
     std::printf("}\n");
     return 0;
 }

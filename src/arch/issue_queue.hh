@@ -25,6 +25,11 @@
 namespace mcd
 {
 
+namespace obs
+{
+class StatsRegistry;
+} // namespace obs
+
 /** Finite instruction queue with visibility-gated oldest-first scan. */
 class IssueQueue
 {
@@ -88,6 +93,14 @@ class IssueQueue
 
     /** High-water mark, for the evaluation tables. */
     std::size_t maxOccupancy() const { return _maxOccupancy; }
+
+    /**
+     * Register queue stats under @p prefix: "<prefix>.capacity",
+     * ".occupancy", ".max_occupancy". Dump-time callbacks only
+     * (defined in arch/registered_stats.cc).
+     */
+    void registerStats(obs::StatsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     std::string _name;

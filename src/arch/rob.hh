@@ -11,6 +11,7 @@
 #define MCDSIM_ARCH_ROB_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "arch/dyn_inst.hh"
@@ -18,6 +19,11 @@
 
 namespace mcd
 {
+
+namespace obs
+{
+class StatsRegistry;
+} // namespace obs
 
 /** Circular reorder buffer that owns in-flight instruction records. */
 class Rob
@@ -68,6 +74,14 @@ class Rob
 
     /** Instructions retired since construction. */
     std::uint64_t retiredCount() const { return retired; }
+
+    /**
+     * Register ROB stats under @p prefix: "<prefix>.capacity",
+     * ".occupancy", ".retired". Dump-time callbacks only (defined in
+     * arch/registered_stats.cc).
+     */
+    void registerStats(obs::StatsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     /** Ring consistency: occupancy bound and head/tail agreement. */

@@ -13,7 +13,9 @@ namespace
 void
 defaultCheckFailureHandler(const CheckContext &ctx)
 {
-    std::fprintf(stderr, "panic: %s\n", renderCheckFailure(ctx).c_str());
+    // Last words before abort(): must not depend on the logging layer.
+    std::fprintf(stderr, "panic: %s\n", // lint:allow(no-raw-stderr)
+                 renderCheckFailure(ctx).c_str());
     std::fflush(stderr);
 }
 

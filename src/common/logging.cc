@@ -58,4 +58,12 @@ inform(const char *fmt, ...)
     va_end(ap);
 }
 
+void
+traceLine(const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "trace[%s]: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
 } // namespace mcd

@@ -36,6 +36,14 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Print an informational message to stderr and continue. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Print one debug-trace line ("trace[<tag>]: ...") to stderr. The
+ * public entry point is MCDSIM_TRACE in obs/debug_flags.hh; this
+ * lives here so every raw stderr write stays inside common/logging.cc
+ * (enforced by the determinism lint's no-raw-stderr rule).
+ */
+void traceLine(const char *tag, const char *fmt, va_list ap);
+
 } // namespace mcd
 
 #endif // MCDSIM_COMMON_LOGGING_HH

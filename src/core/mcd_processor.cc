@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "dvfs/fixed_controller.hh"
+#include "obs/debug_flags.hh"
 
 namespace mcd
 {
@@ -82,7 +83,8 @@ McdProcessor::McdProcessor(const SimConfig &config, WorkloadSource &source)
                  TimeSeries{"ls-freq-ghz", config.traceStride}},
       queueTraces{TimeSeries{"int-queue", config.traceStride},
                   TimeSeries{"fp-queue", config.traceStride},
-                  TimeSeries{"ls-queue", config.traceStride}}
+                  TimeSeries{"ls-queue", config.traceStride}},
+      traceSink(config.trace)
 {
     if (!cfg.mcdEnabled && cfg.controller != ControllerKind::Fixed)
         fatal("DVFS control requires the MCD configuration");
@@ -128,9 +130,101 @@ McdProcessor::McdProcessor(const SimConfig &config, WorkloadSource &source)
     if (cfg.fiveDomainPartition)
         domains[4]->start([this] { fetchTick(); });
     eq.schedule(&sampler, samplingPeriod);
+
+    // Observability wiring: attach the trace sink (components cache
+    // the pointer, so disabled tracing costs nothing at run time) and
+    // seed the frequency counter tracks with the initial operating
+    // points, which were applied before the sink existed.
+    if (traceSink.enabled()) {
+        for (auto &dom : domains)
+            dom->attachTrace(&traceSink);
+        for (std::size_t i = 0; i < 3; ++i)
+            drivers[i]->attachTrace(&traceSink, controlledDomains[i]);
+        if (traceSink.wantsOperatingPoints()) {
+            for (auto &dom : domains) {
+                traceSink.operatingPoint(0, dom->id(), dom->frequency(),
+                                         dom->voltage());
+            }
+        }
+    }
+    if (cfg.collectStats)
+        registerStats();
 }
 
 McdProcessor::~McdProcessor() = default;
+
+void
+McdProcessor::registerStats()
+{
+    eq.registerStats(statsReg, "sim.eq");
+    statsReg.addIntCallback("sim.samples", "DVFS sampler invocations",
+                            [this] { return sampleCount; });
+
+    for (const auto &dom : domains)
+        dom->registerStats(statsReg, std::string(dom->name()) + ".clock");
+
+    const IssueQueue *queues[3] = {&intQ, &fpQ, &lsQ};
+    for (std::size_t i = 0; i < 3; ++i) {
+        const std::string dom = domainName(controlledDomains[i]);
+        drivers[i]->registerStats(statsReg, dom + ".dvfs");
+        queues[i]->registerStats(statsReg, dom + ".queue");
+        queueDists[i] = &statsReg.addDistribution(
+            dom + ".queue.sampled_occupancy",
+            "queue occupancy over 250 MHz samples");
+        freqDists[i] = &statsReg.addDistribution(
+            dom + ".dvfs.sampled_ghz",
+            "frequency over 250 MHz samples, GHz");
+
+        const DvfsController *ctrl = controllers[i].get();
+        const DvfsDriver *drv = drivers[i].get();
+        statsReg.addIntCallback(dom + ".controller.actions_up",
+                                "frequency-increase actions issued",
+                                [ctrl] { return ctrl->stats().actionsUp; });
+        statsReg.addIntCallback(
+            dom + ".controller.actions_down",
+            "frequency-decrease actions issued",
+            [ctrl] { return ctrl->stats().actionsDown; });
+        statsReg.addIntCallback(
+            dom + ".controller.cancellations",
+            "opposite simultaneous triggers cancelled",
+            [ctrl] { return ctrl->stats().cancellations; });
+        statsReg.addIntCallback(dom + ".controller.samples",
+                                "queue samples observed",
+                                [ctrl] { return ctrl->stats().samples; });
+        statsReg.addIntCallback(dom + ".controller.freq_changes",
+                                "frequency transitions the decisions "
+                                "caused",
+                                [drv] { return drv->transitionCount(); });
+    }
+
+    reorderBuffer.registerStats(statsReg, "frontend.rob");
+    statsReg.addIntCallback("frontend.cycles", "front-end clock cycles",
+                            [this] { return feCycles; });
+    statsReg.addIntCallback("frontend.stall.fetch",
+                            "cycles stalled on I-miss or redirect",
+                            [this] { return feFetchStalled; });
+    statsReg.addIntCallback("frontend.stall.branch",
+                            "cycles blocked on an unresolved mispredict",
+                            [this] { return feBranchBlocked; });
+    statsReg.addIntCallback("frontend.stall.rob_full",
+                            "dispatch halts on a full ROB",
+                            [this] { return feRobFull; });
+    statsReg.addIntCallback("frontend.stall.queue_full",
+                            "dispatch halts on a full cluster queue",
+                            [this] { return feQueueFull; });
+    statsReg.addIntCallback("frontend.mispredicts",
+                            "branch mispredicts requiring redirect",
+                            [this] { return mispredicts; });
+
+    statsReg.addIntCallback("sync.crossings",
+                            "cross-domain value crossings",
+                            [this] { return sync.crossingCount(); });
+    statsReg.addIntCallback("sync.penalties",
+                            "crossings that paid the window penalty",
+                            [this] { return sync.penaltyCount(); });
+
+    energy.registerStats(statsReg, "power", domains.size());
+}
 
 const ClockDomain &
 McdProcessor::domain(DomainId id) const
@@ -648,6 +742,7 @@ void
 McdProcessor::samplerTick()
 {
     const Tick now = eq.now();
+    const bool sample_trace = traceSink.wantsQueueSamples();
     const IssueQueue *queues[3] = {&intQ, &fpQ, &lsQ};
     for (std::size_t i = 0; i < 3; ++i) {
         const auto occ = static_cast<double>(queues[i]->occupancy());
@@ -658,6 +753,19 @@ McdProcessor::samplerTick()
             freqTraces[i].add(now, drivers[i]->currentHz() / 1e9);
             queueTraces[i].add(now, occ);
         }
+        if (queueDists[i]) {
+            queueDists[i]->add(occ);
+            freqDists[i]->add(drivers[i]->currentHz() / 1e9);
+        }
+        if (sample_trace) {
+            traceSink.queueSample(now, controlledDomains[i], occ,
+                                  occ - cfg.qref[i]);
+        }
+        MCDSIM_TRACE(obs::DebugFlag::Sampler,
+                     "t=%llu %s occ=%g f=%.4f GHz",
+                     static_cast<unsigned long long>(now),
+                     domainName(controlledDomains[i]), occ,
+                     drivers[i]->currentHz() / 1e9);
     }
     ++sampleCount;
     eq.schedule(&sampler, now + samplingPeriod);
@@ -689,6 +797,9 @@ McdProcessor::finalizeEnergy()
         for (std::uint64_t t = 0; t < drivers[i]->transitionCount(); ++t)
             energy.addRegulatorTransition(controlledDomains[i]);
     }
+    MCDSIM_TRACE(obs::DebugFlag::Energy, "t=%llu total energy %.6g J",
+                 static_cast<unsigned long long>(eq.now()),
+                 energy.totalEnergy());
 }
 
 SimResult
@@ -736,6 +847,15 @@ McdProcessor::collectResult()
     r.l2MissRate = mem.l2().missRate();
     r.syncCrossings = sync.crossingCount();
     r.syncPenalties = sync.penaltyCount();
+
+    // Render observability artifacts last: every stat callback and the
+    // energy totals are final by now (finalizeEnergy already ran).
+    if (cfg.collectStats) {
+        r.statsText = statsReg.renderText();
+        r.statsJson = statsReg.renderJson();
+    }
+    if (traceSink.enabled())
+        r.traceJson = traceSink.renderJson();
 
     if (cfg.recordTraces) {
         r.intFreqTrace = std::move(freqTraces[0]);

@@ -49,6 +49,8 @@
 #include "mcd/clock_domain.hh"
 #include "mcd/sync_interface.hh"
 #include "mem/memory_system.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace_sink.hh"
 #include "power/energy_model.hh"
 #include "sim/event_queue.hh"
 #include "workload/source.hh"
@@ -84,6 +86,8 @@ class McdProcessor
     const BranchPredictor &predictor() const { return bpred; }
     const MemorySystem &memory() const { return mem; }
     std::uint64_t retiredInstructions() const;
+    const obs::StatsRegistry &stats() const { return statsReg; }
+    const obs::TraceSink &trace() const { return traceSink; }
     /** @} */
 
   private:
@@ -128,6 +132,9 @@ class McdProcessor
     Tick crossPenalty() const;
     void finalizeEnergy();
     SimResult collectResult();
+
+    /** Register every component's stats (SimConfig::collectStats). */
+    void registerStats();
 
     SimConfig cfg;
     WorkloadSource &src;
@@ -201,6 +208,15 @@ class McdProcessor
     // Optional traces.
     std::array<TimeSeries, 3> freqTraces;
     std::array<TimeSeries, 3> queueTraces;
+
+    // Observability (src/obs/): the registry is populated only under
+    // cfg.collectStats; the sink records only under cfg.trace.enabled.
+    obs::StatsRegistry statsReg;
+    obs::TraceSink traceSink;
+
+    /** Sampled distributions, non-null only when stats are on. */
+    std::array<obs::Distribution *, 3> queueDists{};
+    std::array<obs::Distribution *, 3> freqDists{};
 };
 
 } // namespace mcd

@@ -95,6 +95,15 @@ struct SimResult
     double avgRobOccupancy = 0.0;
     /** @} */
 
+    /** @{ Rendered observability artifacts: stats dumps (present when
+     *  SimConfig::collectStats) and the Chrome trace-event document
+     *  (present when SimConfig::trace.enabled). Byte-identical for
+     *  same-seed runs at any host parallelism. */
+    std::string statsText;
+    std::string statsJson;
+    std::string traceJson;
+    /** @} */
+
     /** Optional traces (present when SimConfig::recordTraces). */
     TimeSeries intFreqTrace{"int-freq-ghz"};
     TimeSeries fpFreqTrace{"fp-freq-ghz"};

@@ -16,7 +16,8 @@ std::string
 resultCsvHeader()
 {
     std::ostringstream os;
-    os << "benchmark,controller,instructions,seconds,energy_j,edp,"
+    os << "benchmark,controller,instructions,events_processed,"
+          "seconds,energy_j,edp,"
           "ips,branch_accuracy,l1d_miss_rate,l2_miss_rate,"
           "sync_crossings,sync_penalties";
     for (const char *d : domainLabels) {
@@ -32,7 +33,8 @@ resultCsvRow(const SimResult &r)
 {
     std::ostringstream os;
     os << r.benchmark << ',' << r.controller << ',' << r.instructions
-       << ',' << r.seconds() << ',' << r.energy << ',' << r.edp() << ','
+       << ',' << r.eventsProcessed << ',' << r.seconds() << ','
+       << r.energy << ',' << r.edp() << ','
        << r.instructionsPerSecond() << ',' << r.branchDirectionAccuracy
        << ',' << r.l1dMissRate << ',' << r.l2MissRate << ','
        << r.syncCrossings << ',' << r.syncPenalties;
@@ -90,6 +92,7 @@ resultJson(const SimResult &r, int indent)
     os << pad << "\"benchmark\": \"" << r.benchmark << "\",\n";
     os << pad << "\"controller\": \"" << r.controller << "\",\n";
     os << pad << "\"instructions\": " << r.instructions << ",\n";
+    os << pad << "\"events_processed\": " << r.eventsProcessed << ",\n";
     os << pad << "\"seconds\": " << r.seconds() << ",\n";
     os << pad << "\"energy_j\": " << r.energy << ",\n";
     os << pad << "\"edp\": " << r.edp() << ",\n";

@@ -9,6 +9,14 @@ namespace mcd
 namespace
 {
 
+/** Copy the per-batch observability switches into one run's config. */
+void
+applyObservability(SimConfig &cfg, const RunOptions &opts)
+{
+    cfg.collectStats = opts.collectStats;
+    cfg.trace = opts.trace;
+}
+
 /** Build the source, run the processor, label the result. */
 SimResult
 runOne(const std::string &benchmark, const SimConfig &cfg,
@@ -31,6 +39,7 @@ runBenchmark(const std::string &benchmark, ControllerKind kind,
     cfg.controller = kind;
     cfg.seed = seed;
     cfg.recordTraces = opts.recordTraces;
+    applyObservability(cfg, opts);
     if (kind != ControllerKind::Fixed)
         cfg.mcdEnabled = true;
     return runOne(benchmark, cfg, opts.instructions,
@@ -54,6 +63,7 @@ runSynchronousBaseline(const std::string &benchmark,
     cfg.jitterEnabled = false;
     cfg.seed = seed;
     cfg.recordTraces = opts.recordTraces;
+    applyObservability(cfg, opts);
     return runOne(benchmark, cfg, opts.instructions, "sync-baseline");
 }
 
@@ -72,6 +82,7 @@ runMcdBaseline(const std::string &benchmark, const RunOptions &opts,
     cfg.mcdEnabled = true;
     cfg.seed = seed;
     cfg.recordTraces = opts.recordTraces;
+    applyObservability(cfg, opts);
     return runOne(benchmark, cfg, opts.instructions, "mcd-baseline");
 }
 

@@ -31,6 +31,12 @@ struct RunOptions
     /** Record frequency/queue traces. */
     bool recordTraces = false;
 
+    /** Collect and render the hierarchical stats dump (src/obs/). */
+    bool collectStats = false;
+
+    /** Chrome trace-event collection (src/obs/). */
+    obs::TraceConfig trace{};
+
     /** Start from this config (controller field is overridden). */
     SimConfig config{};
 };

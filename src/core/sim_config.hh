@@ -26,6 +26,7 @@
 #include "dvfs/pid_controller.hh"
 #include "dvfs/vf_curve.hh"
 #include "mem/memory_system.hh"
+#include "obs/trace_sink.hh"
 #include "power/energy_model.hh"
 
 namespace mcd
@@ -159,6 +160,21 @@ struct SimConfig
 
     /** Decimation stride for recorded traces. */
     std::uint32_t traceStride = 8;
+
+    // ---- Observability (src/obs/) ---------------------------------
+    /**
+     * Build the hierarchical stats registry and render text/JSON
+     * dumps into SimResult::statsText / statsJson. Off by default:
+     * registration happens once at construction, so the steady-state
+     * cost is zero either way, but dumps stay opt-in.
+     */
+    bool collectStats = false;
+
+    /**
+     * Chrome trace-event collection (SimResult::traceJson). Disabled
+     * sinks cost one predictable test per instrumented site.
+     */
+    obs::TraceConfig trace{};
 
     /** Sampling period derived from samplingRate. */
     Tick

@@ -4,6 +4,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "obs/debug_flags.hh"
 
 namespace mcd
 {
@@ -63,6 +64,10 @@ AdaptiveController::makeDecision(int direction, std::uint32_t steps,
         ++_stats.actionsUp;
     else
         ++_stats.actionsDown;
+    MCDSIM_TRACE(obs::DebugFlag::Controller,
+                 "action %s x%u: %.4f -> %.4f GHz",
+                 direction > 0 ? "up" : "down", steps, current_hz / 1e9,
+                 target / 1e9);
     return DvfsDecision{true, target};
 }
 
@@ -105,6 +110,9 @@ AdaptiveController::sample(double queue_occupancy, Hertz current_hz,
         if (lt != dt) {
             // Opposite actions: cancel both, reset both FSMs.
             ++_stats.cancellations;
+            MCDSIM_TRACE(obs::DebugFlag::Controller,
+                         "cancel: level and delta disagree at occ=%g",
+                         queue_occupancy);
             level.resetToWait();
             delta.resetToWait();
             return DvfsDecision{};

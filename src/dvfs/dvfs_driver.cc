@@ -5,6 +5,9 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "obs/debug_flags.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace_sink.hh"
 
 namespace mcd
 {
@@ -46,7 +49,11 @@ DvfsDriver::sampleTick(Tick now, double queue_occupancy)
     // (otherwise every mid-stall request would extend the stall and
     // the domain would never run again).
     const bool busy = inTransition() || stalled(now);
+    const std::uint64_t cancels_before =
+        trace ? ctrl.stats().cancellations : 0;
     const DvfsDecision d = ctrl.sample(queue_occupancy, current, busy);
+    if (trace && ctrl.stats().cancellations > cancels_before)
+        trace->decision(now, traceDom, "cancel", current / 1e9);
     if (!d.change || stalled(now))
         return;
 
@@ -60,11 +67,47 @@ DvfsDriver::sampleTick(Tick now, double queue_occupancy)
                      vf.fMax());
     if (target != current) {
         ++transitions;
+        MCDSIM_TRACE(obs::DebugFlag::Dvfs,
+                     "t=%llu transition %.4f -> %.4f GHz",
+                     static_cast<unsigned long long>(now), current / 1e9,
+                     target / 1e9);
+        if (trace) {
+            trace->decision(now, traceDom,
+                            target > current ? "action-up" : "action-down",
+                            target / 1e9);
+            trace->transition(now, traceDom, current, target);
+        }
         if (mdl.stallTime > 0) {
             // Transmeta-style: the domain idles while the PLL relocks.
             stallUntilTick = std::max(stallUntilTick, now + mdl.stallTime);
         }
     }
+}
+
+void
+DvfsDriver::registerStats(obs::StatsRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.addIntCallback(prefix + ".transitions",
+                       "distinct DVFS transitions initiated",
+                       [this] { return transitions; });
+    reg.addIntCallback(prefix + ".ramp_ticks",
+                       "total time spent ramping, ticks",
+                       [this] { return rampTicks; });
+    reg.addCallback(prefix + ".current_ghz",
+                    "driver frequency at dump time, GHz",
+                    [this] { return current / 1e9; });
+    reg.addCallback(prefix + ".target_ghz",
+                    "ramp target at dump time, GHz",
+                    [this] { return target / 1e9; });
+}
+
+void
+DvfsDriver::attachTrace(obs::TraceSink *sink, DomainId dom)
+{
+    trace = sink && sink->enabled() && sink->wantsDecisions() ? sink
+                                                              : nullptr;
+    traceDom = dom;
 }
 
 } // namespace mcd

@@ -18,6 +18,7 @@
 #define MCDSIM_DVFS_DVFS_DRIVER_HH
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.hh"
 #include "dvfs/controller.hh"
@@ -26,6 +27,14 @@
 
 namespace mcd
 {
+
+enum class DomainId : std::uint8_t;
+
+namespace obs
+{
+class StatsRegistry;
+class TraceSink;
+} // namespace obs
 
 /** Sink for frequency/voltage changes (implemented by ClockDomain). */
 class FrequencyActuator
@@ -67,6 +76,21 @@ class DvfsDriver
     DvfsController &controller() { return ctrl; }
     const DvfsController &controller() const { return ctrl; }
 
+    /**
+     * Register driver stats under @p prefix: "<prefix>.transitions",
+     * ".ramp_ticks", ".current_ghz", ".target_ghz". Callbacks only.
+     */
+    void registerStats(obs::StatsRegistry &reg,
+                       const std::string &prefix) const;
+
+    /**
+     * Attach a trace sink; @p dom labels this driver's events.
+     * Records transition starts and controller decisions (action-up /
+     * action-down / cancel) on the domain's dvfs and controller
+     * tracks.
+     */
+    void attachTrace(obs::TraceSink *sink, DomainId dom);
+
   private:
     const VfCurve &vf;
     DvfsModel mdl;
@@ -79,6 +103,10 @@ class DvfsDriver
     Tick stallUntilTick = 0;
     std::uint64_t transitions = 0;
     Tick rampTicks = 0;
+
+    /** Attached sink, or nullptr. */
+    obs::TraceSink *trace = nullptr;
+    DomainId traceDom{};
 };
 
 } // namespace mcd

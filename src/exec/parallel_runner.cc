@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <charconv>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
@@ -11,13 +12,44 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "exec/exec_profile.hh"
 #include "exec/worker_pool.hh"
+#include "obs/debug_flags.hh"
 
 namespace mcd
 {
 
 namespace
 {
+
+using ProfClock = std::chrono::steady_clock; // lint:allow(no-wallclock)
+
+/** Times one named phase into a profile (null profile = no clock). */
+class PhaseTimer
+{
+  public:
+    PhaseTimer(ExecProfile *profile, const char *phase_name)
+        : prof(profile), name(phase_name)
+    {
+        if (prof)
+            start = ProfClock::now();
+    }
+
+    ~PhaseTimer()
+    {
+        if (prof) {
+            prof->recordPhase(
+                name, std::chrono::duration<double, std::milli>(
+                          ProfClock::now() - start)
+                          .count());
+        }
+    }
+
+  private:
+    ExecProfile *prof;
+    const char *name;
+    ProfClock::time_point start{};
+};
 
 /** Process-wide jobs override (0 = automatic). */
 std::atomic<std::size_t> jobsOverride{0};
@@ -123,8 +155,21 @@ ParallelRunner::run(const std::vector<RunTask> &tasks) const
     if (jobCount == 1 || tasks.size() <= 1) {
         // Exact old serial path: same call sequence, same thread, no
         // pool. Exceptions propagate from the failing task directly.
-        for (std::size_t i = 0; i < tasks.size(); ++i)
-            results[i] = runTask(tasks[i]);
+        PhaseTimer run_phase(profile, "run");
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            MCDSIM_TRACE(obs::DebugFlag::Exec, "serial task %zu: %s", i,
+                         tasks[i].benchmark.c_str());
+            if (profile) {
+                const auto started = ProfClock::now();
+                results[i] = runTask(tasks[i]);
+                profile->recordTask(
+                    0.0, std::chrono::duration<double, std::milli>(
+                             ProfClock::now() - started)
+                             .count());
+            } else {
+                results[i] = runTask(tasks[i]);
+            }
+        }
         return results;
     }
 
@@ -132,15 +177,21 @@ ParallelRunner::run(const std::vector<RunTask> &tasks) const
     // (lowest task index wins) no matter which worker failed first.
     std::vector<std::exception_ptr> errors(tasks.size());
     {
-        WorkerPool pool(std::min(jobCount, tasks.size()));
-        for (std::size_t i = 0; i < tasks.size(); ++i) {
-            pool.submit([&tasks, &results, &errors, i] {
-                try {
-                    results[i] = runTask(tasks[i]);
-                } catch (...) {
-                    errors[i] = std::current_exception();
-                }
-            });
+        PhaseTimer run_phase(profile, "run");
+        WorkerPool pool(std::min(jobCount, tasks.size()), profile);
+        {
+            PhaseTimer dispatch_phase(profile, "dispatch");
+            for (std::size_t i = 0; i < tasks.size(); ++i) {
+                MCDSIM_TRACE(obs::DebugFlag::Exec, "dispatch task %zu: %s",
+                             i, tasks[i].benchmark.c_str());
+                pool.submit([&tasks, &results, &errors, i] {
+                    try {
+                        results[i] = runTask(tasks[i]);
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                });
+            }
         }
         pool.waitIdle();
     }

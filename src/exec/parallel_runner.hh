@@ -32,6 +32,8 @@
 namespace mcd
 {
 
+class ExecProfile;
+
 /** What a RunTask simulates. */
 enum class RunTaskKind : std::uint8_t
 {
@@ -97,6 +99,15 @@ class ParallelRunner
     std::size_t jobs() const { return jobCount; }
 
     /**
+     * Record wall-clock profiling into @p p: per-task latency and
+     * queue wait (via WorkerPool) plus "dispatch" and "run" phase
+     * timers. Null disables profiling (the default); the profile must
+     * outlive every run() call. Profiling never touches simulation
+     * state, so results stay byte-identical with it on or off.
+     */
+    void setProfile(ExecProfile *p) { profile = p; }
+
+    /**
      * Run every task; results in task order. A task that throws
      * (e.g. a CheckFailure under ScopedCheckThrower) has its
      * exception rethrown here, lowest task index first, after all
@@ -106,6 +117,7 @@ class ParallelRunner
 
   private:
     std::size_t jobCount;
+    ExecProfile *profile = nullptr;
 };
 
 /**

@@ -4,11 +4,26 @@
 #include <utility>
 
 #include "common/check.hh"
+#include "exec/exec_profile.hh"
 
 namespace mcd
 {
 
-WorkerPool::WorkerPool(std::size_t threads)
+namespace
+{
+
+using ProfClock = std::chrono::steady_clock; // lint:allow(no-wallclock)
+
+double
+msSince(ProfClock::time_point start, ProfClock::time_point end)
+{
+    return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+} // namespace
+
+WorkerPool::WorkerPool(std::size_t threads, ExecProfile *profile)
+    : prof(profile)
 {
     const std::size_t n = std::max<std::size_t>(1, threads);
     workers.reserve(n);
@@ -32,9 +47,12 @@ void
 WorkerPool::submit(std::function<void()> task)
 {
     MCDSIM_CHECK(task != nullptr, "submitting empty task");
+    QueuedTask qt{std::move(task), {}};
+    if (prof)
+        qt.enqueued = ProfClock::now();
     {
         std::lock_guard lock(mtx);
-        queue.push_back(std::move(task));
+        queue.push_back(std::move(qt));
     }
     taskReady.notify_one();
 }
@@ -61,16 +79,26 @@ WorkerPool::workerLoop(std::stop_token stop)
             return; // stop requested and queue empty
         if (stop.stop_requested())
             return; // shutting down: drop still-queued tasks
-        std::function<void()> task = std::move(queue.front());
+        QueuedTask task = std::move(queue.front());
         queue.pop_front();
         ++running;
         lock.unlock();
 
+        ProfClock::time_point started{};
+        if (prof)
+            started = ProfClock::now();
+
         std::exception_ptr err;
         try {
-            task();
+            task.fn();
         } catch (...) {
             err = std::current_exception();
+        }
+
+        if (prof) {
+            const auto finished = ProfClock::now();
+            prof->recordTask(msSince(task.enqueued, started),
+                             msSince(started, finished));
         }
 
         lock.lock();

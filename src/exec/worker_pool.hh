@@ -17,6 +17,7 @@
 #ifndef MCDSIM_EXEC_WORKER_POOL_HH
 #define MCDSIM_EXEC_WORKER_POOL_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -28,6 +29,8 @@
 
 namespace mcd
 {
+
+class ExecProfile;
 
 /**
  * A fixed set of worker threads draining a FIFO task queue.
@@ -44,8 +47,13 @@ namespace mcd
 class WorkerPool
 {
   public:
-    /** Spin up @p threads workers (at least one). */
-    explicit WorkerPool(std::size_t threads);
+    /**
+     * Spin up @p threads workers (at least one). When @p profile is
+     * non-null every task's queue wait and execution time is recorded
+     * into it; with a null profile no clock is ever read.
+     */
+    explicit WorkerPool(std::size_t threads,
+                        ExecProfile *profile = nullptr);
 
     /** Stops workers after their current task; queued tasks dropped. */
     ~WorkerPool();
@@ -67,12 +75,20 @@ class WorkerPool
   private:
     void workerLoop(std::stop_token stop);
 
+    /** A queued task plus its enqueue time (profiling only). */
+    struct QueuedTask
+    {
+        std::function<void()> fn;
+        std::chrono::steady_clock::time_point enqueued; // lint:allow(no-wallclock)
+    };
+
     std::mutex mtx;
     std::condition_variable_any taskReady; ///< workers: queue non-empty
     std::condition_variable idle;          ///< waiters: pool drained
-    std::deque<std::function<void()>> queue;
+    std::deque<QueuedTask> queue;
     std::size_t running = 0; ///< tasks currently executing
     std::exception_ptr firstError;
+    ExecProfile *prof = nullptr;
 
     /** Last member: workers must start after the state above. */
     std::vector<std::jthread> workers;

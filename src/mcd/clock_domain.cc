@@ -5,6 +5,9 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "obs/debug_flags.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace_sink.hh"
 
 namespace mcd
 {
@@ -79,6 +82,8 @@ ClockDomain::edge()
 {
     ++cycles;
     lastIdealEdge = nextIdealEdge;
+    if (edgeTrace) [[unlikely]]
+        edgeTrace->clockEdge(eq.now(), cfg.id, cycles);
     accrueVoltageTime();
     if (onEdge)
         onEdge();
@@ -89,9 +94,16 @@ void
 ClockDomain::applyOperatingPoint(Hertz f, Volt v)
 {
     MCDSIM_CHECK(f > 0.0, "domain %s: non-positive frequency", name());
+    MCDSIM_TRACE(obs::DebugFlag::ClockDomain,
+                 "t=%llu %s operating point %.4f GHz %.3f V",
+                 static_cast<unsigned long long>(eq.now()), name(), f / 1e9,
+                 v);
     accrueVoltageTime();
     hz = f;
     volts = v;
+    ++opChanges;
+    if (trace) [[unlikely]]
+        trace->operatingPoint(eq.now(), cfg.id, hz, volts);
     periodTicks = periodFromFrequency(f);
     // A zero-tick period would wedge the event loop at a single
     // instant, re-scheduling edges forever without advancing time.
@@ -102,6 +114,28 @@ ClockDomain::applyOperatingPoint(Hertz f, Volt v)
     // was in force when it was launched); the new period applies from
     // the edge after it, which matches hardware where the new clock
     // settles on the next cycle boundary.
+}
+
+void
+ClockDomain::registerStats(obs::StatsRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.addIntCallback(prefix + ".cycles", "clock edges since start",
+                       [this] { return cycles; });
+    reg.addCallback(prefix + ".freq_ghz", "frequency at dump time, GHz",
+                    [this] { return hz / 1e9; });
+    reg.addCallback(prefix + ".volt", "supply voltage at dump time",
+                    [this] { return volts; });
+    reg.addIntCallback(prefix + ".op_changes",
+                       "operating-point changes applied",
+                       [this] { return opChanges; });
+}
+
+void
+ClockDomain::attachTrace(obs::TraceSink *sink)
+{
+    trace = sink && sink->enabled() ? sink : nullptr;
+    edgeTrace = trace && trace->wantsClockEdges() ? trace : nullptr;
 }
 
 void

@@ -30,6 +30,12 @@
 namespace mcd
 {
 
+namespace obs
+{
+class StatsRegistry;
+class TraceSink;
+} // namespace obs
+
 /**
  * On-chip clock domains. The default configuration is the 4-domain
  * Semeraro et al. partition (front end, INT, FP, LS); the optional
@@ -120,6 +126,22 @@ class ClockDomain : public FrequencyActuator
     /** Bring the V^2-seconds integral up to the current time. */
     void accrueVoltageTime();
 
+    /**
+     * Register clock stats under @p prefix: "<prefix>.cycles",
+     * ".freq_ghz", ".volt", ".op_changes". Dump-time callbacks only.
+     */
+    void registerStats(obs::StatsRegistry &reg,
+                       const std::string &prefix) const;
+
+    /**
+     * Attach a trace sink. Operating-point changes are always
+     * recorded through the sink's own category gate; per-edge instant
+     * events are recorded only when the sink wants them, via a
+     * pointer cached here so the edge hot path pays exactly one
+     * predictable null test.
+     */
+    void attachTrace(obs::TraceSink *sink);
+
   private:
     class EdgeEvent : public Event
     {
@@ -153,7 +175,14 @@ class ClockDomain : public FrequencyActuator
     Tick nextActualEdge = 0;
     Tick lastVoltAccrual = 0;
     double v2Seconds = 0.0;
+    std::uint64_t opChanges = 0;
     bool started = false;
+
+    /** Attached sink, or nullptr (operating points, transitions). */
+    obs::TraceSink *trace = nullptr;
+
+    /** Cached: non-null only when the sink wants per-edge events. */
+    obs::TraceSink *edgeTrace = nullptr;
 };
 
 } // namespace mcd

@@ -1,0 +1,121 @@
+#include "obs/debug_flags.hh"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+namespace obs
+{
+
+namespace
+{
+
+constexpr std::uint32_t numFlags =
+    static_cast<std::uint32_t>(DebugFlag::NumFlags);
+
+constexpr const char *flagNames[numFlags] = {
+    "EventQueue", "ClockDomain", "Controller", "Dvfs",
+    "Sampler",    "Energy",      "Exec",
+};
+
+/** Cached env-derived mask; parsed once, thread-safe (magic static). */
+std::uint32_t
+envMask()
+{
+    static const std::uint32_t mask = [] {
+        std::string unknown;
+        const std::uint32_t m =
+            parseDebugFlags(std::getenv("MCDSIM_DEBUG_FLAGS"), &unknown);
+        if (!unknown.empty()) {
+            warn("MCDSIM_DEBUG_FLAGS: unknown flag(s) '%s' ignored",
+                 unknown.c_str());
+        }
+        return m;
+    }();
+    return mask;
+}
+
+/** Test override (single-threaded use only). */
+bool overrideActive = false;
+std::uint32_t overrideMask = 0;
+
+} // namespace
+
+const char *
+debugFlagName(DebugFlag flag)
+{
+    const auto idx = static_cast<std::uint32_t>(flag);
+    return idx < numFlags ? flagNames[idx] : "?";
+}
+
+std::uint32_t
+parseDebugFlags(const char *spec, std::string *unknown)
+{
+    std::uint32_t mask = 0;
+    if (!spec)
+        return mask;
+    const char *p = spec;
+    while (*p) {
+        const char *comma = std::strchr(p, ',');
+        const std::size_t len =
+            comma ? static_cast<std::size_t>(comma - p) : std::strlen(p);
+        if (len > 0) {
+            bool matched = false;
+            if (len == 3 && std::strncmp(p, "All", 3) == 0) {
+                mask = (1u << numFlags) - 1;
+                matched = true;
+            }
+            for (std::uint32_t i = 0; !matched && i < numFlags; ++i) {
+                if (std::strlen(flagNames[i]) == len &&
+                    std::strncmp(p, flagNames[i], len) == 0) {
+                    mask |= 1u << i;
+                    matched = true;
+                }
+            }
+            if (!matched && unknown) {
+                if (!unknown->empty())
+                    unknown->push_back(',');
+                unknown->append(p, len);
+            }
+        }
+        if (!comma)
+            break;
+        p = comma + 1;
+    }
+    return mask;
+}
+
+std::uint32_t
+debugFlagMask()
+{
+    return overrideActive ? overrideMask : envMask();
+}
+
+void
+setDebugFlagMask(std::uint32_t mask)
+{
+    overrideActive = true;
+    overrideMask = mask;
+}
+
+void
+clearDebugFlagOverride()
+{
+    overrideActive = false;
+}
+
+void
+traceMessage(DebugFlag flag, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    traceLine(debugFlagName(flag), fmt, ap);
+    va_end(ap);
+}
+
+} // namespace obs
+} // namespace mcd

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * gem5-tradition debug trace flags (the logging pillar of src/obs/).
+ *
+ * Instrumentation sites write
+ *
+ *     MCDSIM_TRACE(obs::DebugFlag::Controller,
+ *                  "t=%llu target %.3f GHz", now, ghz);
+ *
+ * and users enable flags at runtime:
+ *
+ *     MCDSIM_DEBUG_FLAGS=Controller,EventQueue ./bench_main_comparison
+ *
+ * `All` enables everything; unknown names warn once and are ignored.
+ *
+ * In release builds (NDEBUG, the default RelWithDebInfo preset) the
+ * macro compiles out entirely — arguments are swallowed unevaluated —
+ * so traced hot paths cost nothing. In debug builds a disabled flag
+ * costs one load-and-test of a cached mask.
+ *
+ * Trace lines are diagnostics, not simulation state: under parallel
+ * execution lines from different runs interleave on stderr, exactly
+ * like gem5's DPRINTF. Nothing here may feed back into a simulation
+ * decision.
+ */
+
+#ifndef MCDSIM_OBS_DEBUG_FLAGS_HH
+#define MCDSIM_OBS_DEBUG_FLAGS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mcd
+{
+namespace obs
+{
+
+/** One bit per instrumented subsystem. */
+enum class DebugFlag : std::uint32_t
+{
+    EventQueue = 0, ///< kernel event dispatch
+    ClockDomain,    ///< operating-point changes, edge scheduling
+    Controller,     ///< DVFS decisions and cancellations
+    Dvfs,           ///< driver ramps and stalls
+    Sampler,        ///< per-sample queue observations
+    Energy,         ///< end-of-run energy finalization
+    Exec,           ///< execution-layer task dispatch
+    NumFlags,
+};
+
+/** Flag name as written in MCDSIM_DEBUG_FLAGS. */
+const char *debugFlagName(DebugFlag flag);
+
+/**
+ * Parse a comma-separated flag list ("Controller,EventQueue", "All",
+ * empty = none). Unknown names are collected into @p unknown (comma
+ * separated) when non-null.
+ */
+std::uint32_t parseDebugFlags(const char *spec,
+                              std::string *unknown = nullptr);
+
+/** Active mask: the override if set, else MCDSIM_DEBUG_FLAGS (cached,
+ *  parsed once; malformed names warn once). */
+std::uint32_t debugFlagMask();
+
+/** Test hook: force the mask (clearOverride to return to the env). */
+void setDebugFlagMask(std::uint32_t mask);
+void clearDebugFlagOverride();
+
+inline bool
+debugFlagEnabled(DebugFlag flag)
+{
+    return (debugFlagMask() >> static_cast<std::uint32_t>(flag)) & 1u;
+}
+
+/** Emit one trace line ("trace[Flag]: ...") through common/logging. */
+void traceMessage(DebugFlag flag, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+namespace detail
+{
+
+/** Swallow MCDSIM_TRACE arguments in release builds. */
+template <typename... T>
+inline void
+sinkTrace(T &&...)
+{}
+
+} // namespace detail
+} // namespace obs
+} // namespace mcd
+
+#ifndef MCDSIM_TRACE_ENABLED
+#ifdef NDEBUG
+#define MCDSIM_TRACE_ENABLED 0
+#else
+#define MCDSIM_TRACE_ENABLED 1
+#endif
+#endif
+
+#if MCDSIM_TRACE_ENABLED
+#define MCDSIM_TRACE(flag, ...)                                              \
+    do {                                                                     \
+        if (::mcd::obs::debugFlagEnabled(flag)) [[unlikely]]                 \
+            ::mcd::obs::traceMessage(flag, __VA_ARGS__);                     \
+    } while (0)
+#else
+#define MCDSIM_TRACE(flag, ...)                                              \
+    do {                                                                     \
+        if (false)                                                           \
+            ::mcd::obs::detail::sinkTrace(flag, __VA_ARGS__);                \
+    } while (0)
+#endif
+
+#endif // MCDSIM_OBS_DEBUG_FLAGS_HH

@@ -1,0 +1,227 @@
+#include "obs/stats_registry.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hh"
+
+namespace mcd
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Deterministic double rendering shared by the text and JSON dumps. */
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+std::string
+formatInt(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** One (subkey, rendered value) pair of a stat's expansion. */
+struct Cell
+{
+    std::string key; ///< empty for scalar stats
+    std::string value;
+};
+
+/** Expand an entry into its dump cells, in a fixed sub-key order. */
+template <typename Variant>
+void
+expand(const Variant &value, std::vector<Cell> &out)
+{
+    if (const auto *c = std::get_if<Counter>(&value)) {
+        out.push_back({"", formatInt(c->value())});
+    } else if (const auto *g = std::get_if<Gauge>(&value)) {
+        out.push_back({"", formatDouble(g->value())});
+    } else if (const auto *d = std::get_if<Distribution>(&value)) {
+        const SummaryStats &s = d->summary();
+        out.push_back({"count", formatInt(s.count())});
+        out.push_back({"mean", formatDouble(s.mean())});
+        out.push_back({"variance", formatDouble(s.variance())});
+        out.push_back({"min", formatDouble(s.min())});
+        out.push_back({"max", formatDouble(s.max())});
+    } else if (const auto *h = std::get_if<Histogram>(&value)) {
+        out.push_back({"total", formatInt(h->totalCount())});
+        out.push_back({"underflow", formatInt(h->underflowCount())});
+        out.push_back({"overflow", formatInt(h->overflowCount())});
+        for (std::size_t i = 0; i < h->binCount(); ++i)
+            out.push_back({"bin" + std::to_string(i),
+                           formatInt(h->binAt(i))});
+    } else if (const auto *fi =
+                   std::get_if<std::function<std::uint64_t()>>(&value)) {
+        out.push_back({"", formatInt((*fi)())});
+    } else if (const auto *fd =
+                   std::get_if<std::function<double()>>(&value)) {
+        out.push_back({"", formatDouble((*fd)())});
+    }
+}
+
+bool
+validName(const std::string &name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    for (const char c : name) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+              c == '_' || c == '-')) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+StatsRegistry::Entry &
+StatsRegistry::insert(const std::string &name, std::string desc,
+                      unsigned flags)
+{
+    MCDSIM_CHECK(validName(name), "bad stat name '%s' (want a dotted "
+                 "path of [a-zA-Z0-9_.-])", name.c_str());
+    auto [it, inserted] = entries.try_emplace(name);
+    MCDSIM_CHECK(inserted, "stat '%s' registered twice", name.c_str());
+    it->second.desc = std::move(desc);
+    it->second.flags = flags;
+    return it->second;
+}
+
+Counter &
+StatsRegistry::addCounter(const std::string &name, std::string desc,
+                          unsigned flags)
+{
+    return insert(name, std::move(desc), flags)
+        .value.emplace<Counter>();
+}
+
+Gauge &
+StatsRegistry::addGauge(const std::string &name, std::string desc,
+                        unsigned flags)
+{
+    return insert(name, std::move(desc), flags).value.emplace<Gauge>();
+}
+
+Distribution &
+StatsRegistry::addDistribution(const std::string &name, std::string desc,
+                               unsigned flags)
+{
+    return insert(name, std::move(desc), flags)
+        .value.emplace<Distribution>();
+}
+
+Histogram &
+StatsRegistry::addHistogram(const std::string &name, std::string desc,
+                            double lo, double hi, std::size_t bins,
+                            unsigned flags)
+{
+    return insert(name, std::move(desc), flags)
+        .value.emplace<Histogram>(lo, hi, bins);
+}
+
+void
+StatsRegistry::addIntCallback(const std::string &name, std::string desc,
+                              std::function<std::uint64_t()> fn,
+                              unsigned flags)
+{
+    MCDSIM_CHECK(fn != nullptr, "stat '%s': null callback", name.c_str());
+    insert(name, std::move(desc), flags)
+        .value.emplace<std::function<std::uint64_t()>>(std::move(fn));
+}
+
+void
+StatsRegistry::addCallback(const std::string &name, std::string desc,
+                           std::function<double()> fn, unsigned flags)
+{
+    MCDSIM_CHECK(fn != nullptr, "stat '%s': null callback", name.c_str());
+    insert(name, std::move(desc), flags)
+        .value.emplace<std::function<double()>>(std::move(fn));
+}
+
+bool
+StatsRegistry::contains(const std::string &name) const
+{
+    return entries.find(name) != entries.end();
+}
+
+void
+StatsRegistry::dumpText(std::ostream &os, bool include_host) const
+{
+    for (const auto &[name, entry] : entries) {
+        if ((entry.flags & statHost) && !include_host)
+            continue;
+        std::vector<Cell> cells;
+        expand(entry.value, cells);
+        for (const auto &cell : cells) {
+            os << name;
+            if (!cell.key.empty())
+                os << '.' << cell.key;
+            os << ' ' << cell.value;
+            if (!entry.desc.empty())
+                os << " # " << entry.desc;
+            os << '\n';
+        }
+    }
+}
+
+void
+StatsRegistry::dumpJson(std::ostream &os, bool include_host) const
+{
+    os << "{\n";
+    bool first = true;
+    for (const auto &[name, entry] : entries) {
+        if ((entry.flags & statHost) && !include_host)
+            continue;
+        std::vector<Cell> cells;
+        expand(entry.value, cells);
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  \"" << name << "\": ";
+        if (cells.size() == 1 && cells[0].key.empty()) {
+            os << cells[0].value;
+        } else {
+            os << '{';
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                if (i)
+                    os << ", ";
+                os << '"' << cells[i].key << "\": " << cells[i].value;
+            }
+            os << '}';
+        }
+    }
+    os << "\n}\n";
+}
+
+std::string
+StatsRegistry::renderText(bool include_host) const
+{
+    std::ostringstream os;
+    dumpText(os, include_host);
+    return os.str();
+}
+
+std::string
+StatsRegistry::renderJson(bool include_host) const
+{
+    std::ostringstream os;
+    dumpJson(os, include_host);
+    return os.str();
+}
+
+} // namespace obs
+} // namespace mcd

@@ -1,0 +1,207 @@
+#include "obs/trace_sink.hh"
+
+#include <cstdio>
+#include <iterator>
+
+#include "common/check.hh"
+
+namespace mcd
+{
+namespace obs
+{
+
+namespace
+{
+
+/**
+ * Chrome trace timestamps are microseconds; one tick is one
+ * femtosecond, so ts = ticks / 1e9 rendered exactly via integer
+ * split — no floating point, so the text is deterministic and lossless.
+ */
+std::string
+formatTs(Tick t)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%llu.%09llu",
+                  static_cast<unsigned long long>(t / 1000000000ull),
+                  static_cast<unsigned long long>(t % 1000000000ull));
+    return buf;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/** Track ids within each domain's pid. */
+constexpr int tidClock = 0;
+constexpr int tidDvfs = 1;
+constexpr int tidController = 2;
+constexpr int tidQueue = 3;
+
+constexpr const char *tidNames[] = {"clock", "dvfs", "controller",
+                                    "queue"};
+
+/**
+ * pid → display name, pid = DomainId + 1. Kept local (mirroring
+ * mcd::domainName) so obs does not link against mcdsim_mcd, which
+ * itself depends on obs; test_trace_sink checks the two stay in sync.
+ */
+constexpr const char *pidNames[] = {"?",  "frontend", "int",
+                                    "fp", "ls",       "fetch"};
+
+} // namespace
+
+void
+TraceSink::push(Tick ts, Kind kind, DomainId dom, const char *name,
+                double a, double b)
+{
+    const auto pid =
+        static_cast<std::uint8_t>(static_cast<std::uint8_t>(dom) + 1);
+    MCDSIM_DCHECK(pid < std::size(pidUsed), "trace pid out of range");
+    pidUsed[pid] = true;
+    events.push_back(Ev{ts, kind, pid, name, a, b});
+}
+
+void
+TraceSink::clockEdge(Tick now, DomainId dom, std::uint64_t cycle)
+{
+    if (!wantsClockEdges())
+        return;
+    push(now, Kind::ClockEdge, dom, "edge",
+         static_cast<double>(cycle), 0.0);
+}
+
+void
+TraceSink::operatingPoint(Tick now, DomainId dom, Hertz hz, Volt v)
+{
+    if (!wantsOperatingPoints())
+        return;
+    push(now, Kind::OperatingPoint, dom, "operating-point", hz / 1e9, v);
+}
+
+void
+TraceSink::transition(Tick now, DomainId dom, Hertz from_hz, Hertz to_hz)
+{
+    if (!wantsDecisions())
+        return;
+    push(now, Kind::Transition, dom, "transition", from_hz / 1e9,
+         to_hz / 1e9);
+}
+
+void
+TraceSink::decision(Tick now, DomainId dom, const char *name,
+                    double target_ghz)
+{
+    if (!wantsDecisions())
+        return;
+    MCDSIM_DCHECK(name != nullptr, "decision without a name");
+    push(now, Kind::Decision, dom, name, target_ghz, 0.0);
+}
+
+void
+TraceSink::queueSample(Tick now, DomainId dom, double occupancy,
+                       double deviation)
+{
+    if (!wantsQueueSamples())
+        return;
+    push(now, Kind::QueueSample, dom, "queue", occupancy, deviation);
+}
+
+std::string
+TraceSink::renderJson() const
+{
+    std::string out;
+    out.reserve(128 + events.size() * 120);
+    out += "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+
+    bool first = true;
+    auto emit = [&](const std::string &line) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += line;
+    };
+
+    // Metadata: name every used process (domain) and track.
+    for (std::size_t pid = 0; pid < std::size(pidUsed); ++pid) {
+        if (!pidUsed[pid])
+            continue;
+        const char *dom_name =
+            pid < std::size(pidNames) ? pidNames[pid] : "?";
+        emit(std::string("{\"name\": \"process_name\", \"ph\": \"M\", "
+                         "\"pid\": ") +
+             std::to_string(pid) + ", \"args\": {\"name\": \"" +
+             dom_name + "\"}}");
+        for (int tid = 0; tid < 4; ++tid) {
+            emit(std::string("{\"name\": \"thread_name\", \"ph\": "
+                             "\"M\", \"pid\": ") +
+                 std::to_string(pid) + ", \"tid\": " +
+                 std::to_string(tid) + ", \"args\": {\"name\": \"" +
+                 tidNames[tid] + "\"}}");
+        }
+    }
+
+    char buf[256];
+    for (const Ev &ev : events) {
+        const std::string ts = formatTs(ev.ts);
+        const int pid = ev.pid;
+        switch (ev.kind) {
+          case Kind::ClockEdge:
+            std::snprintf(buf, sizeof(buf),
+                          "{\"name\": \"edge\", \"ph\": \"i\", \"s\": "
+                          "\"t\", \"pid\": %d, \"tid\": %d, \"ts\": %s, "
+                          "\"args\": {\"cycle\": %llu}}",
+                          pid, tidClock, ts.c_str(),
+                          static_cast<unsigned long long>(ev.a));
+            break;
+          case Kind::OperatingPoint:
+            std::snprintf(buf, sizeof(buf),
+                          "{\"name\": \"freq_ghz\", \"ph\": \"C\", "
+                          "\"pid\": %d, \"tid\": %d, \"ts\": %s, "
+                          "\"args\": {\"ghz\": %s, \"volt\": %s}}",
+                          pid, tidClock, ts.c_str(),
+                          formatDouble(ev.a).c_str(),
+                          formatDouble(ev.b).c_str());
+            break;
+          case Kind::Transition:
+            std::snprintf(buf, sizeof(buf),
+                          "{\"name\": \"transition\", \"ph\": \"i\", "
+                          "\"s\": \"t\", \"pid\": %d, \"tid\": %d, "
+                          "\"ts\": %s, \"args\": {\"from_ghz\": %s, "
+                          "\"to_ghz\": %s}}",
+                          pid, tidDvfs, ts.c_str(),
+                          formatDouble(ev.a).c_str(),
+                          formatDouble(ev.b).c_str());
+            break;
+          case Kind::Decision:
+            std::snprintf(buf, sizeof(buf),
+                          "{\"name\": \"%s\", \"ph\": \"i\", \"s\": "
+                          "\"t\", \"pid\": %d, \"tid\": %d, \"ts\": %s, "
+                          "\"args\": {\"target_ghz\": %s}}",
+                          ev.name, pid, tidController, ts.c_str(),
+                          formatDouble(ev.a).c_str());
+            break;
+          case Kind::QueueSample:
+            std::snprintf(buf, sizeof(buf),
+                          "{\"name\": \"queue\", \"ph\": \"C\", "
+                          "\"pid\": %d, \"tid\": %d, \"ts\": %s, "
+                          "\"args\": {\"occupancy\": %s, \"deviation\": "
+                          "%s}}",
+                          pid, tidQueue, ts.c_str(),
+                          formatDouble(ev.a).c_str(),
+                          formatDouble(ev.b).c_str());
+            break;
+        }
+        emit(buf);
+    }
+
+    out += "\n]}\n";
+    return out;
+}
+
+} // namespace obs
+} // namespace mcd

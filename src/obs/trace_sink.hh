@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Sim-time-stamped structured trace sink (the timeline pillar of
+ * src/obs/), rendered as Chrome trace-event JSON for Perfetto /
+ * chrome://tracing.
+ *
+ * Layout: one trace pid per clock domain (pid = domain id + 1) with
+ * named tracks (tids) per subsystem — clock edges, DVFS driver
+ * activity, controller decisions, and queue-deviation samples.
+ * Operating points and queue samples are counter ("C") events so the
+ * viewers draw them as stacked time series; edges, transitions, and
+ * decisions are instant ("i") events.
+ *
+ * Timestamps are simulated time only: ticks (femtoseconds) rendered
+ * exactly as microseconds with nine fractional digits, so same-seed
+ * runs produce byte-identical traces at any host parallelism. Events
+ * are appended in event-queue order by the single thread that owns
+ * the simulation, which keeps the file sorted by ts.
+ *
+ * Overhead policy: a disabled sink records nothing and every wants*()
+ * query is a single predictable test; the clock-edge hot path checks
+ * one cached pointer (see ClockDomain::attachTrace) and nothing else.
+ */
+
+#ifndef MCDSIM_OBS_TRACE_SINK_HH
+#define MCDSIM_OBS_TRACE_SINK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mcd
+{
+
+enum class DomainId : std::uint8_t;
+
+namespace obs
+{
+
+/** What the sink records; all categories keyed on simulated time. */
+struct TraceConfig
+{
+    /** Master switch; a disabled sink records nothing. */
+    bool enabled = false;
+
+    /**
+     * Per-edge instant events. Off by default: a 1 GHz domain emits
+     * one per ns of simulated time, which dwarfs every other track.
+     */
+    bool clockEdges = false;
+
+    /** Frequency/voltage counter tracks (one point per change). */
+    bool operatingPoints = true;
+
+    /** Controller decisions and transition starts. */
+    bool decisions = true;
+
+    /** Queue occupancy / deviation samples at the sampling rate. */
+    bool queueSamples = true;
+};
+
+/** Collects trace events for one simulation run. */
+class TraceSink
+{
+  public:
+    TraceSink() = default;
+    explicit TraceSink(const TraceConfig &config) : cfg(config) {}
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    bool enabled() const { return cfg.enabled; }
+    bool wantsClockEdges() const { return cfg.enabled && cfg.clockEdges; }
+    bool
+    wantsOperatingPoints() const
+    {
+        return cfg.enabled && cfg.operatingPoints;
+    }
+    bool wantsDecisions() const { return cfg.enabled && cfg.decisions; }
+    bool
+    wantsQueueSamples() const
+    {
+        return cfg.enabled && cfg.queueSamples;
+    }
+
+    /** @{ Recording; no-ops unless the matching category is on. */
+    void clockEdge(Tick now, DomainId dom, std::uint64_t cycle);
+    void operatingPoint(Tick now, DomainId dom, Hertz hz, Volt v);
+    void transition(Tick now, DomainId dom, Hertz from_hz, Hertz to_hz);
+
+    /**
+     * A controller decision: @p name must be a static string
+     * ("action-up", "action-down", "cancel", ...).
+     */
+    void decision(Tick now, DomainId dom, const char *name,
+                  double target_ghz);
+
+    void queueSample(Tick now, DomainId dom, double occupancy,
+                     double deviation);
+    /** @} */
+
+    std::size_t eventCount() const { return events.size(); }
+
+    /** Render the complete Chrome trace-event JSON document. */
+    std::string renderJson() const;
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        ClockEdge,
+        OperatingPoint,
+        Transition,
+        Decision,
+        QueueSample,
+    };
+
+    struct Ev
+    {
+        Tick ts;
+        Kind kind;
+        std::uint8_t pid; ///< domain id + 1
+        const char *name; ///< static string; Decision events only
+        double a = 0.0;
+        double b = 0.0;
+    };
+
+    void push(Tick ts, Kind kind, DomainId dom, const char *name,
+              double a, double b);
+
+    TraceConfig cfg{};
+    std::vector<Ev> events;
+    bool pidUsed[8] = {};
+};
+
+} // namespace obs
+} // namespace mcd
+
+#endif // MCDSIM_OBS_TRACE_SINK_HH

@@ -1,6 +1,7 @@
 #include "power/energy_model.hh"
 
 #include "common/logging.hh"
+#include "obs/stats_registry.hh"
 
 namespace mcd
 {
@@ -21,6 +22,28 @@ energyCategoryName(EnergyCategory cat)
       case EnergyCategory::Regulator: return "regulator";
     }
     panic("unknown energy category %d", static_cast<int>(cat));
+}
+
+void
+EnergyModel::registerStats(obs::StatsRegistry &reg,
+                           const std::string &prefix,
+                           std::size_t domain_count) const
+{
+    reg.addCallback(prefix + ".total_j", "total processor energy, joules",
+                    [this] { return totalEnergy(); });
+    for (std::size_t d = 0; d < domain_count && d < numDomains; ++d) {
+        const auto dom = static_cast<DomainId>(d);
+        reg.addCallback(prefix + "." + domainName(dom) + ".j",
+                        "domain energy, joules",
+                        [this, dom] { return domainEnergy(dom); });
+    }
+    for (std::size_t c = 0; c < numEnergyCategories; ++c) {
+        const auto cat = static_cast<EnergyCategory>(c);
+        reg.addCallback(prefix + ".category." +
+                            energyCategoryName(cat) + "_j",
+                        "energy across domains, joules",
+                        [this, cat] { return categoryEnergy(cat); });
+    }
 }
 
 } // namespace mcd

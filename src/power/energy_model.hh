@@ -29,6 +29,11 @@
 namespace mcd
 {
 
+namespace obs
+{
+class StatsRegistry;
+} // namespace obs
+
 /** Energy bookkeeping categories. */
 enum class EnergyCategory : std::uint8_t
 {
@@ -168,6 +173,15 @@ class EnergyModel
     /** @} */
 
     const Config &config() const { return cfg; }
+
+    /**
+     * Register energy stats under @p prefix: "<prefix>.total_j",
+     * "<prefix>.<domain>.j" for the first @p domain_count domains, and
+     * "<prefix>.category.<name>_j" totals. Dump-time callbacks; dump
+     * after finalization (leakage accrual) for complete numbers.
+     */
+    void registerStats(obs::StatsRegistry &reg, const std::string &prefix,
+                       std::size_t domain_count) const;
 
   private:
     double &

@@ -4,6 +4,8 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "obs/debug_flags.hh"
+#include "obs/stats_registry.hh"
 
 namespace mcd
 {
@@ -92,6 +94,9 @@ EventQueue::step()
         return true;
     }
     ++processed;
+    MCDSIM_TRACE(obs::DebugFlag::EventQueue, "t=%llu dispatch %s prio=%d",
+                 static_cast<unsigned long long>(_now), ev->name(),
+                 top.priority);
 
     // Defer the root removal: if process() reschedules this event
     // (the dominant clock-edge pattern), schedule() fuses the removal
@@ -128,6 +133,19 @@ Tick
 EventQueue::nextEventTick() const
 {
     return heap.empty() ? maxTick : heap.front().when;
+}
+
+void
+EventQueue::registerStats(obs::StatsRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.addIntCallback(prefix + ".processed",
+                       "events dispatched since construction",
+                       [this] { return processed; });
+    reg.addIntCallback(prefix + ".pending",
+                       "events scheduled at dump time", [this] {
+                           return static_cast<std::uint64_t>(heap.size());
+                       });
 }
 
 #if MCDSIM_DCHECK_IS_ON

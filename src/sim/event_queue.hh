@@ -18,6 +18,7 @@
 #define MCDSIM_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/check.hh"
@@ -25,6 +26,11 @@
 
 namespace mcd
 {
+
+namespace obs
+{
+class StatsRegistry;
+} // namespace obs
 
 class EventQueue;
 
@@ -161,6 +167,14 @@ class EventQueue
 
     /** Tick of the earliest pending event; maxTick when empty. */
     Tick nextEventTick() const;
+
+    /**
+     * Register kernel stats under @p prefix ("<prefix>.processed",
+     * "<prefix>.pending") as dump-time callbacks: zero cost on the
+     * dispatch path. The queue must outlive the registry's last dump.
+     */
+    void registerStats(obs::StatsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     struct Entry

@@ -18,6 +18,7 @@ sampleResult()
     r.benchmark = "epic_decode";
     r.controller = "adaptive";
     r.instructions = 1000;
+    r.eventsProcessed = 5555;
     r.wallTicks = ticksFromUs(2);
     r.energy = 3e-3;
     r.branchDirectionAccuracy = 0.95;
@@ -42,9 +43,19 @@ TEST(Report, CsvHeaderAndRowHaveSameColumnCount)
 TEST(Report, CsvRowContainsKeyFields)
 {
     const std::string row = resultCsvRow(sampleResult());
-    EXPECT_NE(row.find("epic_decode,adaptive,1000"), std::string::npos);
+    EXPECT_NE(row.find("epic_decode,adaptive,1000,5555"),
+              std::string::npos);
     EXPECT_NE(row.find("0.003"), std::string::npos);
     EXPECT_NE(row.find("8e+08"), std::string::npos);
+}
+
+TEST(Report, EventsProcessedSurfacesInHeaderAndJson)
+{
+    EXPECT_NE(resultCsvHeader().find("events_processed"),
+              std::string::npos);
+    EXPECT_NE(resultJson(sampleResult())
+                  .find("\"events_processed\": 5555"),
+              std::string::npos);
 }
 
 TEST(Report, WriteResultsCsvEmitsHeaderOnceAndOneRowPerResult)

@@ -77,6 +77,33 @@ sweepBytes()
     return os.str();
 }
 
+/** Concatenated stats/trace artifacts under the current MCDSIM_JOBS. */
+std::string
+observabilityBytes()
+{
+    RunOptions opts;
+    opts.instructions = 40000;
+    opts.collectStats = true;
+    opts.trace.enabled = true;
+    const auto shared = shareOptions(opts);
+
+    std::vector<RunTask> tasks;
+    for (const char *name : {"gzip", "epic_decode"}) {
+        tasks.push_back(mcdBaselineTask(name, shared));
+        tasks.push_back(schemeTask(name, ControllerKind::Adaptive, shared));
+    }
+
+    const std::vector<SimResult> results = ParallelRunner().run(tasks);
+
+    std::string bytes;
+    for (const auto &r : results) {
+        bytes += r.statsText;
+        bytes += r.statsJson;
+        bytes += r.traceJson;
+    }
+    return bytes;
+}
+
 /** Serialized comparison table under the current MCDSIM_JOBS. */
 std::string
 comparisonBytes()
@@ -109,6 +136,23 @@ TEST(ParallelDeterminism, JobsOneVsEightByteIdentical)
     EXPECT_EQ(serial, parallel)
         << "a suite executed with 8 workers is not byte-identical to "
            "the serial execution";
+}
+
+TEST(ParallelDeterminism, StatsAndTracesJobsOneVsEightByteIdentical)
+{
+    setConfiguredJobs(0);
+    std::string serial, parallel;
+    {
+        ScopedEnv env("MCDSIM_JOBS", "1");
+        serial = observabilityBytes();
+    }
+    {
+        ScopedEnv env("MCDSIM_JOBS", "8");
+        parallel = observabilityBytes();
+    }
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel)
+        << "stats/trace artifacts differ between 1 and 8 workers";
 }
 
 TEST(ParallelDeterminism, ComparisonTableJobsOneVsEightByteIdentical)

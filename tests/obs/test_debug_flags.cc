@@ -1,0 +1,92 @@
+/** @file Tests for the gem5-style debug trace flags. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/debug_flags.hh"
+
+namespace mcd
+{
+namespace
+{
+
+using obs::DebugFlag;
+
+std::uint32_t
+bit(DebugFlag f)
+{
+    return 1u << static_cast<std::uint32_t>(f);
+}
+
+TEST(DebugFlags, NamesRoundTripThroughParser)
+{
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(DebugFlag::NumFlags); ++i) {
+        const auto flag = static_cast<DebugFlag>(i);
+        EXPECT_EQ(obs::parseDebugFlags(obs::debugFlagName(flag)),
+                  bit(flag));
+    }
+}
+
+TEST(DebugFlags, ParsesCommaSeparatedList)
+{
+    const std::uint32_t mask =
+        obs::parseDebugFlags("Controller,EventQueue");
+    EXPECT_EQ(mask,
+              bit(DebugFlag::Controller) | bit(DebugFlag::EventQueue));
+}
+
+TEST(DebugFlags, AllEnablesEveryFlag)
+{
+    const std::uint32_t mask = obs::parseDebugFlags("All");
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(DebugFlag::NumFlags); ++i)
+        EXPECT_TRUE(mask & (1u << i)) << obs::debugFlagName(
+            static_cast<DebugFlag>(i));
+}
+
+TEST(DebugFlags, EmptyAndNullAreNone)
+{
+    EXPECT_EQ(obs::parseDebugFlags(""), 0u);
+    EXPECT_EQ(obs::parseDebugFlags(nullptr), 0u);
+}
+
+TEST(DebugFlags, UnknownNamesAreCollectedNotFatal)
+{
+    std::string unknown;
+    const std::uint32_t mask =
+        obs::parseDebugFlags("Controller,Bogus,AlsoBad", &unknown);
+    EXPECT_EQ(mask, bit(DebugFlag::Controller));
+    EXPECT_NE(unknown.find("Bogus"), std::string::npos);
+    EXPECT_NE(unknown.find("AlsoBad"), std::string::npos);
+}
+
+TEST(DebugFlags, OverrideMaskControlsEnabledQueries)
+{
+    obs::setDebugFlagMask(bit(DebugFlag::Dvfs));
+    EXPECT_TRUE(obs::debugFlagEnabled(DebugFlag::Dvfs));
+    EXPECT_FALSE(obs::debugFlagEnabled(DebugFlag::Controller));
+    obs::setDebugFlagMask(0);
+    EXPECT_FALSE(obs::debugFlagEnabled(DebugFlag::Dvfs));
+    obs::clearDebugFlagOverride();
+}
+
+TEST(DebugFlags, TraceMacroCompilesOutOrGates)
+{
+    // Whatever the build type, an unset flag must make the macro a
+    // no-op whose arguments are never evaluated when disabled at
+    // compile time (NDEBUG) — this must compile and run silently.
+    obs::setDebugFlagMask(0);
+    int evaluations = 0;
+    auto touch = [&] {
+        ++evaluations;
+        return 1;
+    };
+    MCDSIM_TRACE(DebugFlag::Controller, "side effect %d", touch());
+    EXPECT_EQ(evaluations, 0) << "disabled trace evaluated its args";
+    obs::clearDebugFlagOverride();
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,107 @@
+/** @file Tests for the Chrome trace-event sink. */
+
+#include <gtest/gtest.h>
+
+#include "mcd/clock_domain.hh"
+#include "obs/trace_sink.hh"
+
+namespace mcd
+{
+namespace
+{
+
+using obs::TraceConfig;
+using obs::TraceSink;
+
+TraceConfig
+allOn()
+{
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.clockEdges = true;
+    return cfg;
+}
+
+TEST(TraceSink, DisabledSinkRecordsNothing)
+{
+    TraceSink sink; // default config: disabled
+    EXPECT_FALSE(sink.enabled());
+    sink.clockEdge(100, DomainId::Int, 1);
+    sink.operatingPoint(100, DomainId::Int, 1e9, 1.2);
+    sink.queueSample(100, DomainId::Int, 3.0, -1.0);
+    sink.decision(100, DomainId::Int, "action-up", 1.0);
+    sink.transition(100, DomainId::Int, 5e8, 1e9);
+    EXPECT_EQ(sink.eventCount(), 0u);
+}
+
+TEST(TraceSink, CategoryGatesAreIndependent)
+{
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.queueSamples = false;
+    TraceSink sink(cfg);
+    EXPECT_FALSE(sink.wantsClockEdges()); // off by default
+    EXPECT_TRUE(sink.wantsOperatingPoints());
+    EXPECT_TRUE(sink.wantsDecisions());
+    EXPECT_FALSE(sink.wantsQueueSamples());
+    sink.queueSample(100, DomainId::Int, 3.0, -1.0);
+    EXPECT_EQ(sink.eventCount(), 0u);
+    sink.operatingPoint(100, DomainId::Int, 1e9, 1.2);
+    EXPECT_EQ(sink.eventCount(), 1u);
+}
+
+TEST(TraceSink, RendersWellFormedChromeTraceJson)
+{
+    TraceSink sink(allOn());
+    sink.operatingPoint(0, DomainId::Int, 1e9, 1.2);
+    sink.clockEdge(1000000, DomainId::Int, 1);
+    sink.decision(2000000, DomainId::Int, "action-down", 0.75);
+    sink.transition(2000000, DomainId::Int, 1e9, 7.5e8);
+    sink.queueSample(4000000, DomainId::Fp, 3.0, -3.0);
+
+    const std::string js = sink.renderJson();
+    EXPECT_NE(js.find("\"traceEvents\": ["), std::string::npos);
+    // Metadata names the used pids only (Int=pid 2, Fp=pid 3).
+    EXPECT_NE(js.find("\"pid\": 2, \"args\": {\"name\": \"int\"}"),
+              std::string::npos);
+    EXPECT_NE(js.find("\"pid\": 3, \"args\": {\"name\": \"fp\"}"),
+              std::string::npos);
+    EXPECT_EQ(js.find("\"name\": \"frontend\""), std::string::npos);
+    // Counter events carry values; instants carry the decision name.
+    EXPECT_NE(js.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(js.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(js.find("\"name\": \"action-down\""), std::string::npos);
+    // Document terminates properly.
+    EXPECT_EQ(js.back(), '\n');
+    EXPECT_NE(js.find("]}"), std::string::npos);
+}
+
+TEST(TraceSink, TimestampsRenderTicksAsExactMicroseconds)
+{
+    TraceSink sink(allOn());
+    // 1 tick = 1 fs; 1234567891 fs = 1.234567891 us.
+    sink.clockEdge(1234567891, DomainId::FrontEnd, 7);
+    const std::string js = sink.renderJson();
+    EXPECT_NE(js.find("\"ts\": 1.234567891"), std::string::npos);
+}
+
+TEST(TraceSink, PidNamesMatchDomainNames)
+{
+    // The sink labels pids with a local copy of mcd::domainName (it
+    // cannot link against mcd without a dependency cycle); prove the
+    // two stay in sync for every instantiable domain.
+    for (const DomainId id :
+         {DomainId::FrontEnd, DomainId::Int, DomainId::Fp,
+          DomainId::LoadStore, DomainId::Fetch}) {
+        TraceSink sink(allOn());
+        sink.clockEdge(0, id, 0);
+        const std::string expect =
+            std::string("\"name\": \"") + domainName(id) + "\"";
+        EXPECT_NE(sink.renderJson().find(expect), std::string::npos)
+            << "pid name for domain " << static_cast<int>(id)
+            << " diverged from mcd::domainName";
+    }
+}
+
+} // namespace
+} // namespace mcd

@@ -62,6 +62,30 @@ TEST(Histogram, CumulativeFraction)
     EXPECT_DOUBLE_EQ(h.cumulativeFraction(3), 1.0);
 }
 
+TEST(Histogram, SingleSample)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(7.3);
+    EXPECT_EQ(h.totalCount(), 1u);
+    EXPECT_EQ(h.binAt(7), 1u);
+    EXPECT_EQ(h.underflowCount(), 0u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(7), 1.0);
+}
+
+TEST(Histogram, OutOfRangeAccumulatesWithoutTouchingBins)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(1e9);
+    h.add(1e9);
+    h.add(-1e9);
+    EXPECT_EQ(h.overflowCount(), 2u);
+    EXPECT_EQ(h.underflowCount(), 1u);
+    EXPECT_EQ(h.totalCount(), 3u);
+    for (std::size_t b = 0; b < 4; ++b)
+        EXPECT_EQ(h.binAt(b), 0u);
+}
+
 TEST(HistogramDeath, DegenerateRange)
 {
     EXPECT_DEATH(Histogram(1.0, 1.0, 4), "degenerate");

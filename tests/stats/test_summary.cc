@@ -78,6 +78,40 @@ TEST(Summary, MergeWithEmpty)
     EXPECT_DOUBLE_EQ(b.mean(), 1.5);
 }
 
+TEST(Summary, MergeEmptyWithEmpty)
+{
+    SummaryStats a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Summary, MergeOrderIndependent)
+{
+    // Chan's formula must give the same moments whichever side the
+    // merge starts from, and both must match a single-pass reference.
+    Rng rng(11);
+    SummaryStats whole, a, b;
+    for (int i = 0; i < 3000; ++i) {
+        const double x = rng.gaussian(-2.0, 5.0);
+        whole.add(x);
+        (i % 3 == 0 ? a : b).add(x); // deliberately unequal halves
+    }
+    SummaryStats ab = a, ba = b;
+    ab.merge(b);
+    ba.merge(a);
+    EXPECT_EQ(ab.count(), ba.count());
+    EXPECT_NEAR(ab.mean(), ba.mean(), 1e-12);
+    EXPECT_NEAR(ab.variance(), ba.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(ab.min(), ba.min());
+    EXPECT_DOUBLE_EQ(ab.max(), ba.max());
+    EXPECT_NEAR(ab.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(ab.variance(), whole.variance(), 1e-9);
+}
+
 TEST(Summary, Reset)
 {
     SummaryStats s;

@@ -35,6 +35,11 @@ Rules (applied to src/**/*.{hh,cc}):
                     event executes on one thread in queue order, and
                     any concurrency there would let the host scheduler
                     leak into simulated results.
+  no-raw-stderr     No fprintf(stderr, ...) / std::cerr / std::clog
+                    outside src/common/logging.cc. Diagnostics flow
+                    through warn()/inform()/traceLine() so parallel
+                    runs interleave whole lines and tests can assert
+                    on a single choke point.
 
 Suppress a finding with a trailing  // lint:allow(rule-name)  comment.
 
@@ -238,6 +243,27 @@ def check_no_threading(relpath, lines):
                 break
 
 
+STDERR_PATTERNS = [
+    (re.compile(r"\b(?:std::)?v?fprintf\s*\(\s*stderr\b"),
+     "fprintf(stderr, ...)"),
+    (re.compile(r"\bstd::cerr\b"), "std::cerr"),
+    (re.compile(r"\bstd::clog\b"), "std::clog"),
+]
+
+
+def check_raw_stderr(relpath, lines):
+    if relpath == "src/common/logging.cc":
+        return
+    for lineno, line in lines:
+        for pat, what in STDERR_PATTERNS:
+            if pat.search(line):
+                yield (lineno,
+                       f"{what} outside common/logging.cc: route "
+                       "diagnostics through warn()/inform()/traceLine() "
+                       "so output stays line-atomic under parallel runs")
+                break
+
+
 RULES = [
     ("no-wallclock", check_wallclock),
     ("no-pointer-keyed-unordered", check_pointer_keyed),
@@ -245,6 +271,7 @@ RULES = [
     ("no-raw-new-delete", check_raw_new_delete),
     ("no-assert", check_no_assert),
     ("no-threading", check_no_threading),
+    ("no-raw-stderr", check_raw_stderr),
 ]
 
 
@@ -312,6 +339,11 @@ SELF_TEST_CASES = [
      "std::mutex mtx;\nstd::condition_variable cv;\n"),
     ("no-threading", "src/dvfs/bad10.cc",
      "#include <atomic>\nstd::atomic<int> flag{0};\n"),
+    ("no-raw-stderr", "src/core/bad11.cc",
+     "#include <cstdio>\n"
+     "void f() { std::fprintf(stderr, \"boom\\n\"); }\n"),
+    ("no-raw-stderr", "src/mcd/bad12.cc",
+     "#include <iostream>\nvoid g() { std::cerr << 1; }\n"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -331,6 +363,14 @@ SELF_TEST_CLEAN = [
      "void g() { auto *p = new int(1); delete p; }\n"),
     ("src/core/allowed.cc",
      "long t = time(nullptr); // lint:allow(no-wallclock)\n"),
+    # logging.cc is the one place raw stderr writes are allowed; a
+    # comment or string mentioning stderr elsewhere is fine.
+    ("src/common/logging.cc",
+     "#include <cstdio>\n"
+     "void warn(const char *m) { std::fprintf(stderr, \"%s\", m); }\n"),
+    ("src/core/stderr_mention.cc",
+     "// warnings go to stderr via warn()\n"
+     "const char *w = \"std::cerr\";\n"),
     # The execution layer is the one place threads are allowed.
     ("src/exec/pool.cc",
      "#include <thread>\n"

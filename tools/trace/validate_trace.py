@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Validate mcdsim Chrome trace-event JSON artifacts.
+
+Two modes:
+
+  validate_trace.py FILE [FILE...]
+      Schema-check already-written trace files.
+
+  validate_trace.py --run BINARY
+      Run an observability-aware harness (normally bench_obs_smoke)
+      twice — --jobs 1 and --jobs 8 — with --stats-out/--trace-out
+      into a temp directory, schema-check every produced trace, and
+      byte-compare the two runs' artifacts. This is the executable
+      form of the determinism contract: stats and traces are pure
+      functions of (config, seed), independent of host parallelism.
+
+Schema enforced (the subset of the trace-event format we emit; it is
+what Perfetto / chrome://tracing need to load the file):
+
+  * top level: object with a "traceEvents" list
+  * every event: object with "ph" in {"M", "i", "C"} and an int "pid"
+  * metadata ("M"): "name" in {"process_name", "thread_name"} and
+    args.name a non-empty string
+  * instants ("i"): a scope "s", a "ts", and a "name"
+  * counters ("C"): a "ts" and numeric args values
+  * "ts" is a non-negative number, non-decreasing over the file
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+VALID_PH = {"M", "i", "C"}
+META_NAMES = {"process_name", "thread_name"}
+
+
+def fail(path, index, message):
+    return f"{path}: event {index}: {message}"
+
+
+def validate_event(path, index, ev, errors):
+    if not isinstance(ev, dict):
+        errors.append(fail(path, index, "not an object"))
+        return None
+    ph = ev.get("ph")
+    if ph not in VALID_PH:
+        errors.append(fail(path, index, f"bad ph {ph!r}"))
+        return None
+    if not isinstance(ev.get("pid"), int) or ev["pid"] < 0:
+        errors.append(fail(path, index, "missing or negative pid"))
+    name = ev.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(fail(path, index, "missing name"))
+
+    if ph == "M":
+        if name not in META_NAMES:
+            errors.append(fail(path, index, f"unknown metadata {name!r}"))
+        args = ev.get("args", {})
+        if not isinstance(args.get("name"), str) or not args["name"]:
+            errors.append(fail(path, index, "metadata without args.name"))
+        return None  # metadata carries no timestamp
+
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        errors.append(fail(path, index, f"bad ts {ts!r}"))
+        return None
+    if ph == "i" and "s" not in ev:
+        errors.append(fail(path, index, "instant event without scope"))
+    if ph == "C":
+        args = ev.get("args")
+        if not isinstance(args, dict) or not args:
+            errors.append(fail(path, index, "counter without args"))
+        elif not all(isinstance(v, (int, float)) for v in args.values()):
+            errors.append(fail(path, index, "non-numeric counter value"))
+    return ts
+
+
+def validate_file(path):
+    """Return a list of schema violations (empty = valid)."""
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or not JSON: {e}"]
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return [f"{path}: top level is not an object with traceEvents"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents is not a list"]
+    if not events:
+        errors.append(f"{path}: traceEvents is empty")
+
+    last_ts = None
+    for index, ev in enumerate(events):
+        ts = validate_event(path, index, ev, errors)
+        if ts is None:
+            continue
+        if last_ts is not None and ts < last_ts:
+            errors.append(fail(path, index,
+                               f"ts {ts} decreases (prev {last_ts})"))
+        last_ts = ts
+    return errors
+
+
+def run_binary(binary, jobs, outdir, tag):
+    stats = os.path.join(outdir, f"stats.{tag}")
+    trace = os.path.join(outdir, f"trace.{tag}.json")
+    cmd = [binary, "--jobs", str(jobs),
+           "--stats-out", stats, "--trace-out", trace]
+    env = dict(os.environ)
+    env.setdefault("MCDSIM_INSTS", "8000")  # keep CI runs short
+    proc = subprocess.run(cmd, env=env, stdout=subprocess.DEVNULL)
+    if proc.returncode != 0:
+        print(f"{' '.join(cmd)}: exit {proc.returncode}", file=sys.stderr)
+        sys.exit(1)
+    produced = sorted(
+        os.path.join(outdir, f) for f in os.listdir(outdir)
+        if f.startswith(os.path.basename(trace)))
+    return stats, produced
+
+
+def compare_files(a, b, errors):
+    with open(a, "rb") as fa, open(b, "rb") as fb:
+        if fa.read() != fb.read():
+            errors.append(f"{a} and {b} differ: artifacts depend on "
+                          "--jobs, breaking the determinism contract")
+
+
+def run_mode(binary):
+    errors = []
+    with tempfile.TemporaryDirectory(prefix="mcdsim_trace_") as outdir:
+        stats1, traces1 = run_binary(binary, 1, outdir, "j1")
+        stats8, traces8 = run_binary(binary, 8, outdir, "j8")
+
+        if not traces1:
+            errors.append(f"{binary}: produced no trace files")
+        for path in traces1:
+            errors.extend(validate_file(path))
+
+        compare_files(stats1, stats8, errors)
+        compare_files(stats1 + ".json", stats8 + ".json", errors)
+        if len(traces1) != len(traces8):
+            errors.append(f"{binary}: trace file count differs between "
+                          f"--jobs 1 ({len(traces1)}) and --jobs 8 "
+                          f"({len(traces8)})")
+        else:
+            for a, b in zip(traces1, traces8):
+                compare_files(a, b, errors)
+
+        for e in errors:
+            print(e, file=sys.stderr)
+        if errors:
+            return 1
+        total = sum(
+            len(json.load(open(p, encoding="utf-8"))["traceEvents"])
+            for p in traces1)
+        print(f"trace OK: {len(traces1)} file(s), {total} events, "
+              "stats and traces byte-identical at --jobs 1 vs 8")
+        return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="trace files to check")
+    parser.add_argument("--run", metavar="BINARY",
+                        help="run BINARY at --jobs 1 and 8, validate and "
+                             "byte-compare the artifacts")
+    args = parser.parse_args()
+
+    if args.run:
+        return run_mode(args.run)
+    if not args.files:
+        parser.error("give trace files or --run BINARY")
+
+    errors = []
+    for path in args.files:
+        errors.extend(validate_file(path))
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        return 1
+    print(f"trace OK: {len(args.files)} file(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
