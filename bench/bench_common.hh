@@ -62,12 +62,65 @@ traceOutPath()
 /** @} */
 
 /**
+ * @{ Fault-tolerance knobs from `--faults` / `--retries` /
+ * `--event-budget` / `--deadline-ms`. faultSpec() starts as the
+ * MCDSIM_FAULTS environment value so a spec can be injected into any
+ * harness without touching its command line; the flag overrides it.
+ */
+inline std::string &
+faultSpec()
+{
+    static std::string spec = [] {
+        const char *env = std::getenv("MCDSIM_FAULTS");
+        return std::string(env ? env : "");
+    }();
+    return spec;
+}
+
+inline std::uint32_t &
+retryCount()
+{
+    static std::uint32_t retries = 0;
+    return retries;
+}
+
+inline std::uint64_t &
+eventBudget()
+{
+    static std::uint64_t budget = 0;
+    return budget;
+}
+
+inline std::uint64_t &
+deadlineMs()
+{
+    static std::uint64_t ms = 0;
+    return ms;
+}
+/** @} */
+
+/**
+ * Structured argument failure, rendered like the McdError taxonomy
+ * ("config error at <site>: <context>") so harness CLI errors grep
+ * the same as library ones. Exits 2 (usage error).
+ */
+[[noreturn]] inline void
+argError(const char *argv0, const char *site, const std::string &context)
+{
+    std::fprintf(stderr, "%s: config error at %s: %s\n", argv0, site,
+                 context.c_str());
+    std::exit(2);
+}
+
+/**
  * Harness command-line entry point: understands `--jobs N`
  * (forwarded to the execution layer, taking precedence over
- * MCDSIM_JOBS), `--stats-out PATH` and `--trace-out PATH` (each also
- * in `--flag=value` form). Call once at the top of main().
- * Unrecognised arguments abort with a usage message so typos are not
- * silently ignored.
+ * MCDSIM_JOBS), `--stats-out PATH`, `--trace-out PATH`, and the
+ * fault-tolerance knobs `--faults SPEC` (overrides MCDSIM_FAULTS),
+ * `--retries N`, `--event-budget N`, `--deadline-ms N` (each also in
+ * `--flag=value` form). Call once at the top of main().
+ * Unrecognised or malformed arguments abort with a structured error
+ * so typos are not silently ignored.
  */
 inline void
 parseHarnessArgs(int argc, char **argv)
@@ -76,43 +129,64 @@ parseHarnessArgs(int argc, char **argv)
         std::fprintf(stderr,
                      "%s: unrecognised argument '%s'\n"
                      "usage: %s [--jobs N] [--stats-out PATH] "
-                     "[--trace-out PATH]\n",
+                     "[--trace-out PATH] [--faults SPEC] [--retries N] "
+                     "[--event-budget N] [--deadline-ms N]\n",
                      argv[0], bad, argv[0]);
         std::exit(2);
     };
-    auto parseJobs = [&](const char *text) {
-        std::size_t jobs = 0;
+    // from_chars end-to-end: rejects empty, negatives (no '-' for
+    // unsigned), and trailing garbage like "4x" or "1e3".
+    auto parseUint = [&](const char *flag, const char *text,
+                         bool allow_zero) {
+        std::uint64_t value = 0;
         const char *end = text + std::strlen(text);
-        const auto [ptr, ec] = std::from_chars(text, end, jobs);
-        if (ec != std::errc{} || ptr != end || jobs == 0) {
-            std::fprintf(stderr,
-                         "%s: --jobs wants a positive integer, got "
-                         "'%s'\n",
-                         argv[0], text);
-            std::exit(2);
+        const auto [ptr, ec] = std::from_chars(text, end, value);
+        if (ec != std::errc{} || ptr != end ||
+            (!allow_zero && value == 0)) {
+            argError(argv[0], flag,
+                     std::string("expected a ") +
+                         (allow_zero ? "non-negative" : "positive") +
+                         " integer, got '" + text + "'");
         }
-        mcd::setConfiguredJobs(jobs);
+        return value;
     };
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
-        if (std::strcmp(arg, "--jobs") == 0) {
+        auto value = [&](const char *flag,
+                         std::size_t flag_len) -> const char * {
+            if (std::strncmp(arg, flag, flag_len) == 0 &&
+                arg[flag_len] == '=')
+                return arg + flag_len + 1;
             if (i + 1 >= argc)
                 usage(arg);
-            parseJobs(argv[++i]);
-        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            parseJobs(arg + 7);
-        } else if (std::strcmp(arg, "--stats-out") == 0) {
-            if (i + 1 >= argc)
-                usage(arg);
-            statsOutPath() = argv[++i];
-        } else if (std::strncmp(arg, "--stats-out=", 12) == 0) {
-            statsOutPath() = arg + 12;
-        } else if (std::strcmp(arg, "--trace-out") == 0) {
-            if (i + 1 >= argc)
-                usage(arg);
-            traceOutPath() = argv[++i];
-        } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
-            traceOutPath() = arg + 12;
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--jobs") == 0 ||
+            std::strncmp(arg, "--jobs=", 7) == 0) {
+            mcd::setConfiguredJobs(static_cast<std::size_t>(
+                parseUint("--jobs", value("--jobs", 6), false)));
+        } else if (std::strcmp(arg, "--stats-out") == 0 ||
+                   std::strncmp(arg, "--stats-out=", 12) == 0) {
+            statsOutPath() = value("--stats-out", 11);
+        } else if (std::strcmp(arg, "--trace-out") == 0 ||
+                   std::strncmp(arg, "--trace-out=", 12) == 0) {
+            traceOutPath() = value("--trace-out", 11);
+        } else if (std::strcmp(arg, "--faults") == 0 ||
+                   std::strncmp(arg, "--faults=", 9) == 0) {
+            faultSpec() = value("--faults", 8);
+        } else if (std::strcmp(arg, "--retries") == 0 ||
+                   std::strncmp(arg, "--retries=", 10) == 0) {
+            retryCount() = static_cast<std::uint32_t>(
+                parseUint("--retries", value("--retries", 9), true));
+        } else if (std::strcmp(arg, "--event-budget") == 0 ||
+                   std::strncmp(arg, "--event-budget=", 15) == 0) {
+            eventBudget() =
+                parseUint("--event-budget", value("--event-budget", 14),
+                          true);
+        } else if (std::strcmp(arg, "--deadline-ms") == 0 ||
+                   std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+            deadlineMs() = parseUint("--deadline-ms",
+                                     value("--deadline-ms", 13), true);
         } else {
             usage(arg);
         }
@@ -132,6 +206,78 @@ applyObservability(mcd::RunOptions &opts)
         opts.collectStats = true;
     if (!traceOutPath().empty())
         opts.trace.enabled = true;
+}
+
+/**
+ * Wire the fault-tolerance command line into one RunOptions: parse
+ * the --faults / MCDSIM_FAULTS spec into a shared plan (a malformed
+ * spec is a structured usage error), and forward --retries,
+ * --event-budget and --deadline-ms. Call next to applyObservability.
+ */
+inline void
+applyFaultTolerance(mcd::RunOptions &opts, const char *argv0 = "mcdsim")
+{
+    if (!faultSpec().empty()) {
+        try {
+            opts.config.faults = mcd::FaultPlan::parseShared(faultSpec());
+        } catch (const mcd::ConfigError &e) {
+            std::fprintf(stderr, "%s: %s\n", argv0, e.what());
+            std::exit(2);
+        }
+    }
+    opts.maxAttempts = 1 + retryCount();
+    opts.wallDeadlineMs = deadlineMs();
+    opts.config.eventBudget = eventBudget();
+}
+
+/**
+ * Failure summary for a comparison table: prints one line per
+ * non-ok row to stderr and returns the harness exit code (0 when
+ * everything succeeded, 1 otherwise). Use as `return
+ * reportRowFailures(rows);` so a degraded suite still emits its
+ * partial table but fails the invocation.
+ */
+inline int
+reportRowFailures(const std::vector<mcd::ComparisonRow> &rows)
+{
+    const std::size_t failed = mcd::failedRowCount(rows);
+    if (failed == 0)
+        return 0;
+    std::fprintf(stderr, "mcdsim: %zu of %zu runs did not complete:\n",
+                 failed, rows.size());
+    for (const auto &row : rows) {
+        if (mcd::runSucceeded(row.status))
+            continue;
+        std::fprintf(stderr, "  %s/%s: %s (attempts=%u) %s\n",
+                     row.benchmark.c_str(), row.scheme.c_str(),
+                     mcd::runStatusName(row.status), row.attempts,
+                     row.error.c_str());
+    }
+    return 1;
+}
+
+/** Outcome-vector overload for harnesses that fan tasks out raw. */
+inline int
+reportOutcomeFailures(const std::vector<mcd::RunTask> &tasks,
+                      const std::vector<mcd::RunOutcome> &outcomes)
+{
+    std::size_t failed = 0;
+    for (const auto &o : outcomes)
+        failed += o.ok() ? 0 : 1;
+    if (failed == 0)
+        return 0;
+    std::fprintf(stderr, "mcdsim: %zu of %zu runs did not complete:\n",
+                 failed, outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].ok())
+            continue;
+        std::fprintf(stderr, "  %s/%s: %s (attempts=%u) %s\n",
+                     tasks[i].benchmark.c_str(),
+                     mcd::runTaskLabel(tasks[i]).c_str(),
+                     mcd::runStatusName(outcomes[i].status),
+                     outcomes[i].attempts, outcomes[i].error.c_str());
+    }
+    return 1;
 }
 
 inline void
@@ -201,6 +347,19 @@ inline void
 emitObservability(const mcd::SimResult &result)
 {
     emitObservability(std::vector<mcd::SimResult>{result});
+}
+
+/** Outcome overload: emits the runs that completed (partial suite). */
+inline void
+emitObservability(const std::vector<mcd::RunOutcome> &outcomes)
+{
+    std::vector<mcd::SimResult> results;
+    results.reserve(outcomes.size());
+    for (const auto &o : outcomes) {
+        if (o.ok())
+            results.push_back(o.result);
+    }
+    emitObservability(results);
 }
 
 /** Comparison-table overload: emits each row's scheme run. */

@@ -13,6 +13,11 @@
  * The synchronous-processor overhead (MCD baseline vs single-clock
  * chip) is reported separately at the end, matching how the MCD
  * papers account for it.
+ *
+ * Runs fan out through ParallelRunner::runOutcomes, so a failing run
+ * (injected via --faults or real) marks only its own table cells
+ * "failed" and the harness exits non-zero after printing the partial
+ * table.
  */
 
 #include "bench_common.hh"
@@ -30,6 +35,7 @@ main(int argc, char **argv)
     RunOptions opts;
     opts.instructions = mcdbench::runLength();
     mcdbench::applyObservability(opts);
+    mcdbench::applyFaultTolerance(opts, argv[0]);
     std::printf("(instructions per run: %llu; set MCDSIM_INSTS to "
                 "change)\n\n",
                 static_cast<unsigned long long>(opts.instructions));
@@ -47,7 +53,7 @@ main(int argc, char **argv)
 
     // Fan the whole matrix out through the execution layer: per
     // benchmark an MCD baseline, a synchronous baseline, and one run
-    // per scheme. Results come back in submission order, so the
+    // per scheme. Outcomes come back in submission order, so the
     // per-benchmark stride below is (2 + kinds.size()).
     const auto shared = shareOptions(opts);
     std::vector<RunTask> tasks;
@@ -59,8 +65,9 @@ main(int argc, char **argv)
         for (const auto kind : kinds)
             tasks.push_back(schemeTask(info.name, kind, shared));
     }
-    const std::vector<SimResult> results = ParallelRunner().run(tasks);
-    mcdbench::emitObservability(results);
+    const std::vector<RunOutcome> outcomes =
+        ParallelRunner().runOutcomes(tasks);
+    mcdbench::emitObservability(outcomes);
 
     struct Avg
     {
@@ -69,44 +76,68 @@ main(int argc, char **argv)
     Avg avgs[3];
     double sync_overhead = 0.0;
     int n = 0;
+    int sync_n = 0;
 
     std::size_t idx = 0;
     for (const auto &info : suite) {
-        const SimResult &base = results[idx++];
-        const SimResult &sync = results[idx++];
-        sync_overhead += static_cast<double>(base.wallTicks) /
-                             static_cast<double>(sync.wallTicks) -
-                         1.0;
+        const RunOutcome &base = outcomes[idx++];
+        const RunOutcome &sync = outcomes[idx++];
+        if (base.ok() && sync.ok()) {
+            sync_overhead +=
+                static_cast<double>(base.result.wallTicks) /
+                    static_cast<double>(sync.result.wallTicks) -
+                1.0;
+            ++sync_n;
+        }
 
         std::printf("%-12s |", info.name.c_str());
+        bool row_complete = base.ok();
         for (std::size_t k = 0; k < kinds.size(); ++k) {
-            const SimResult &r = results[idx++];
-            const Comparison c = compare(r, base);
-            std::printf(" %6.1f %6.1f %7.1f |", mcdbench::pct(c.energySavings),
-                        mcdbench::pct(c.perfDegradation),
-                        mcdbench::pct(c.edpImprovement));
-            avgs[k].e += c.energySavings;
-            avgs[k].p += c.perfDegradation;
-            avgs[k].edp += c.edpImprovement;
+            const RunOutcome &r = outcomes[idx++];
+            if (r.ok() && base.ok()) {
+                const Comparison c = compare(r.result, base.result);
+                std::printf(" %6.1f %6.1f %7.1f |",
+                            mcdbench::pct(c.energySavings),
+                            mcdbench::pct(c.perfDegradation),
+                            mcdbench::pct(c.edpImprovement));
+                avgs[k].e += c.energySavings;
+                avgs[k].p += c.perfDegradation;
+                avgs[k].edp += c.edpImprovement;
+            } else {
+                std::printf(" %21s |",
+                            runStatusName(r.ok() ? base.status
+                                                 : r.status));
+                row_complete = false;
+            }
         }
         std::printf("\n");
         std::fflush(stdout);
-        ++n;
+        // Averages stay over fully comparable rows only.
+        if (row_complete)
+            ++n;
     }
 
     mcdbench::rule(84);
-    std::printf("%-12s |", "AVERAGE");
-    for (auto &a : avgs) {
-        std::printf(" %6.1f %6.1f %7.1f |", mcdbench::pct(a.e / n),
-                    mcdbench::pct(a.p / n), mcdbench::pct(a.edp / n));
+    if (n > 0) {
+        std::printf("%-12s |", "AVERAGE");
+        for (auto &a : avgs) {
+            std::printf(" %6.1f %6.1f %7.1f |", mcdbench::pct(a.e / n),
+                        mcdbench::pct(a.p / n), mcdbench::pct(a.edp / n));
+        }
+        std::printf("\n\n");
+        std::printf("paper headline: adaptive ~9%% energy savings at "
+                    "~3%% degradation,\n  close to the best "
+                    "fixed-interval scheme -> measured %.1f%% / %.1f%%\n",
+                    mcdbench::pct(avgs[0].e / n),
+                    mcdbench::pct(avgs[0].p / n));
+    } else {
+        std::printf("(no benchmark completed all schemes; see failure "
+                    "summary)\n");
     }
-    std::printf("\n\n");
-    std::printf("paper headline: adaptive ~9%% energy savings at ~3%% "
-                "degradation,\n  close to the best fixed-interval "
-                "scheme -> measured %.1f%% / %.1f%%\n",
-                mcdbench::pct(avgs[0].e / n), mcdbench::pct(avgs[0].p / n));
-    std::printf("MCD substrate overhead vs synchronous chip (no DVFS): "
-                "%.1f%% average slowdown\n",
-                mcdbench::pct(sync_overhead / n));
-    return 0;
+    if (sync_n > 0) {
+        std::printf("MCD substrate overhead vs synchronous chip (no "
+                    "DVFS): %.1f%% average slowdown\n",
+                    mcdbench::pct(sync_overhead / sync_n));
+    }
+    return mcdbench::reportOutcomeFailures(tasks, outcomes);
 }

@@ -15,7 +15,7 @@
 
 int
 main(int argc, char **argv)
-{
+try {
     const std::string benchmark = argc > 1 ? argv[1] : "mpeg2_dec";
     mcd::RunOptions opts;
     opts.instructions =
@@ -49,4 +49,6 @@ main(int argc, char **argv)
                     r.domains[2].avgFrequency / 1e9);
     }
     return 0;
+} catch (const mcd::McdError &e) {
+    mcd::fatal("%s", e.what());
 }

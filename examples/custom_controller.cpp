@@ -61,7 +61,7 @@ class BangBangController : public mcd::DvfsController
 
 int
 main(int argc, char **argv)
-{
+try {
     const std::string benchmark = argc > 1 ? argv[1] : "epic_decode";
     mcd::RunOptions opts;
     opts.instructions =
@@ -95,4 +95,6 @@ main(int argc, char **argv)
                 "noise rejection or\nreaction-time adaptation; the "
                 "paper's scheme should dominate on EDP.\n");
     return 0;
+} catch (const mcd::McdError &e) {
+    mcd::fatal("%s", e.what());
 }

@@ -62,7 +62,7 @@ printHuman(const mcd::SimResult &r)
 
 int
 main(int argc, char **argv)
-{
+try {
     std::string bench = "epic_decode";
     std::string scheme = "adaptive";
     mcd::RunOptions opts;
@@ -156,4 +156,8 @@ main(int argc, char **argv)
             printHuman(r);
     }
     return 0;
+} catch (const mcd::McdError &e) {
+    // Library errors (unknown benchmark, unreadable trace, ...) are
+    // user errors at the CLI surface: exit 1 cleanly, don't abort.
+    mcd::fatal("%s", e.what());
 }

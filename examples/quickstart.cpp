@@ -14,7 +14,7 @@
 
 int
 main(int argc, char **argv)
-{
+try {
     const std::string benchmark = argc > 1 ? argv[1] : "epic_decode";
     mcd::RunOptions opts;
     opts.instructions =
@@ -56,4 +56,6 @@ main(int argc, char **argv)
     std::printf("EDP improvement:   %6.2f %%\n",
                 delta.edpImprovement * 100.0);
     return 0;
+} catch (const mcd::McdError &e) {
+    mcd::fatal("%s", e.what());
 }

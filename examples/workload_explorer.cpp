@@ -17,7 +17,7 @@
 
 int
 main(int argc, char **argv)
-{
+try {
     const std::string name = argc > 1 ? argv[1] : "mpeg2_dec";
     const std::uint64_t insts =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 300'000;
@@ -90,4 +90,6 @@ main(int argc, char **argv)
                 max_frac > 6.0 ? "FAST" : "slow",
                 info.expectedFastVarying ? "FAST" : "slow");
     return 0;
+} catch (const mcd::McdError &e) {
+    mcd::fatal("%s", e.what());
 }

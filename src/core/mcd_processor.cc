@@ -1,9 +1,12 @@
 #include "core/mcd_processor.hh"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "dvfs/fixed_controller.hh"
+#include "fault/fault_injector.hh"
 #include "obs/debug_flags.hh"
 
 namespace mcd
@@ -55,11 +58,13 @@ makeController(const SimConfig &cfg, const VfCurve &vf, std::size_t idx,
       }
       case ControllerKind::Custom: {
         if (!cfg.customController)
-            fatal("ControllerKind::Custom without a customController "
-                  "factory");
+            throw ConfigError("controller",
+                              "ControllerKind::Custom without a "
+                              "customController factory");
         auto ctrl = cfg.customController(idx, vf);
         if (!ctrl)
-            fatal("customController factory returned null");
+            throw ConfigError("controller",
+                              "customController factory returned null");
         return ctrl;
       }
     }
@@ -87,7 +92,8 @@ McdProcessor::McdProcessor(const SimConfig &config, WorkloadSource &source)
       traceSink(config.trace)
 {
     if (!cfg.mcdEnabled && cfg.controller != ControllerKind::Fixed)
-        fatal("DVFS control requires the MCD configuration");
+        throw ConfigError("mcd", "DVFS control requires the MCD "
+                                 "configuration");
 
     // Build the clock domains, all starting at f_max / v_max. The
     // Fetch domain exists only in the 5-domain partition.
@@ -147,6 +153,24 @@ McdProcessor::McdProcessor(const SimConfig &config, WorkloadSource &source)
             }
         }
     }
+    // Fault injection wiring: one injector per attempt, derived from
+    // (seed, attempt), attached to the drivers and the workload
+    // source. Absent entirely when no plan is configured, so the
+    // fault-free run is bit-identical to a build without src/fault/.
+    if (cfg.faults && !cfg.faults->empty()) {
+        FaultInjector::Identity id;
+        id.benchmark =
+            cfg.faultBenchmark.empty() ? src.name() : cfg.faultBenchmark;
+        id.scheme = cfg.faultScheme.empty() ? controllers[0]->name()
+                                            : cfg.faultScheme;
+        id.seed = cfg.seed;
+        id.attempt = cfg.faultAttempt;
+        faultInj = std::make_unique<FaultInjector>(cfg.faults, id);
+        for (std::size_t i = 0; i < 3; ++i)
+            drivers[i]->attachFaults(faultInj.get(), i);
+        src.attachFaults(faultInj.get());
+    }
+
     if (cfg.collectStats)
         registerStats();
 }
@@ -195,7 +219,32 @@ McdProcessor::registerStats()
                                 "frequency transitions the decisions "
                                 "caused",
                                 [drv] { return drv->transitionCount(); });
+
+        // Stability metrics for the robustness studies (Section 4's
+        // perturbation remarks): sustained overshoot above q_ref and
+        // frequency dispersion over the 250 MHz sampled series. The
+        // overshoot is the time-mean excess, not the peak: every run
+        // fills the LS queue during memory stalls whatever the
+        // controller does, so the sampled max saturates at capacity
+        // and cannot discriminate between schemes.
+        const double qr = cfg.qref[i];
+        const obs::Distribution *qd = queueDists[i];
+        const obs::Distribution *fd = freqDists[i];
+        statsReg.addCallback(dom + ".stability.queue_overshoot",
+                             "mean sampled occupancy above q_ref",
+                             [qd, qr] {
+                                 return std::max(0.0,
+                                                 qd->summary().mean() - qr);
+                             });
+        statsReg.addCallback(dom + ".stability.freq_stddev_ghz",
+                             "stddev of sampled frequency, GHz",
+                             [fd] {
+                                 return std::sqrt(fd->summary().variance());
+                             });
     }
+
+    if (faultInj)
+        faultInj->registerStats(statsReg, "fault");
 
     reorderBuffer.registerStats(statsReg, "frontend.rob");
     statsReg.addIntCallback("frontend.cycles", "front-end clock cycles",
@@ -777,9 +826,31 @@ SimResult
 McdProcessor::run(std::uint64_t max_instructions)
 {
     maxInstructions = max_instructions;
+
+    // Watchdogs: the event budget is a pure function of the
+    // simulation (trips identically everywhere); the cancel check is
+    // an opt-in host-side poll, amortized over 1024 events.
+    const std::uint64_t budget = cfg.eventBudget;
+    const bool cancellable = static_cast<bool>(cfg.cancelCheck);
+    std::uint64_t sinceCancelPoll = 0;
+
     while (!done) {
         if (!eq.step())
             panic("event queue drained before the run completed");
+        if (budget != 0 && eq.processedCount() >= budget && !done) {
+            throw SimError("event-budget",
+                           "run exceeded its event budget of " +
+                               std::to_string(budget) + " events at tick " +
+                               std::to_string(eq.now()));
+        }
+        if (cancellable && (++sinceCancelPoll & 0x3ff) == 0 &&
+            cfg.cancelCheck()) {
+            throw SimError("deadline",
+                           "run cancelled by deadline at tick " +
+                               std::to_string(eq.now()) + " after " +
+                               std::to_string(eq.processedCount()) +
+                               " events");
+        }
     }
     finalizeEnergy();
     return collectResult();

@@ -58,6 +58,8 @@
 namespace mcd
 {
 
+class FaultInjector;
+
 /** One processor simulation instance (single use: construct, run). */
 class McdProcessor
 {
@@ -88,6 +90,7 @@ class McdProcessor
     std::uint64_t retiredInstructions() const;
     const obs::StatsRegistry &stats() const { return statsReg; }
     const obs::TraceSink &trace() const { return traceSink; }
+    const FaultInjector *faultInjector() const { return faultInj.get(); }
     /** @} */
 
   private:
@@ -217,6 +220,9 @@ class McdProcessor
     /** Sampled distributions, non-null only when stats are on. */
     std::array<obs::Distribution *, 3> queueDists{};
     std::array<obs::Distribution *, 3> freqDists{};
+
+    /** Fault injection (src/fault/), non-null only under cfg.faults. */
+    std::unique_ptr<FaultInjector> faultInj;
 };
 
 } // namespace mcd

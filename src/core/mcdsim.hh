@@ -20,6 +20,7 @@
 #define MCDSIM_CORE_MCDSIM_HH
 
 #include "common/check.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/types.hh"
@@ -37,6 +38,8 @@
 #include "dvfs/hardware_cost.hh"
 #include "dvfs/pid_controller.hh"
 #include "exec/parallel_runner.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
 #include "spectrum/psd.hh"
 #include "stats/histogram.hh"
 #include "stats/summary.hh"

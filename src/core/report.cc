@@ -10,6 +10,17 @@ namespace
 
 const char *domainLabels[3] = {"int", "fp", "ls"};
 
+/** Error context made CSV-safe: separators collapse to spaces. */
+std::string
+csvSanitize(std::string text)
+{
+    for (char &c : text) {
+        if (c == ',' || c == '\n' || c == '\r')
+            c = ' ';
+    }
+    return text;
+}
+
 } // namespace
 
 std::string
@@ -57,8 +68,8 @@ writeResultsCsv(std::ostream &os, const std::vector<SimResult> &results)
 std::string
 comparisonCsvHeader()
 {
-    return "benchmark,scheme,energy_savings,perf_degradation,"
-           "edp_improvement,energy_j,seconds";
+    return "benchmark,scheme,status,attempts,energy_savings,"
+           "perf_degradation,edp_improvement,energy_j,seconds,error";
 }
 
 std::string
@@ -66,10 +77,18 @@ comparisonCsvRow(const ComparisonRow &row)
 {
     std::ostringstream os;
     os << row.benchmark << ',' << row.scheme << ','
-       << row.vsBaseline.energySavings << ','
-       << row.vsBaseline.perfDegradation << ','
-       << row.vsBaseline.edpImprovement << ',' << row.result.energy
-       << ',' << row.result.seconds();
+       << runStatusName(row.status) << ',' << row.attempts << ',';
+    if (runSucceeded(row.status)) {
+        os << row.vsBaseline.energySavings << ','
+           << row.vsBaseline.perfDegradation << ','
+           << row.vsBaseline.edpImprovement << ',' << row.result.energy
+           << ',' << row.result.seconds();
+    } else {
+        // Partial table: numeric cells stay empty rather than carrying
+        // garbage from a run that never finished.
+        os << ",,,,";
+    }
+    os << ',' << csvSanitize(row.error);
     return os.str();
 }
 

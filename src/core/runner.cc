@@ -6,6 +6,18 @@
 namespace mcd
 {
 
+const char *
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::RetriedOk: return "retried_ok";
+      case RunStatus::Failed: return "failed";
+      case RunStatus::TimedOut: return "timed_out";
+    }
+    return "?";
+}
+
 namespace
 {
 
@@ -15,6 +27,15 @@ applyObservability(SimConfig &cfg, const RunOptions &opts)
 {
     cfg.collectStats = opts.collectStats;
     cfg.trace = opts.trace;
+}
+
+/** Give fault specs a scheme label to match against (the run label,
+ *  which is also what reports print). */
+void
+applyFaultLabel(SimConfig &cfg, const char *label)
+{
+    if (cfg.faults && cfg.faultScheme.empty())
+        cfg.faultScheme = label;
 }
 
 /** Build the source, run the processor, label the result. */
@@ -40,6 +61,7 @@ runBenchmark(const std::string &benchmark, ControllerKind kind,
     cfg.seed = seed;
     cfg.recordTraces = opts.recordTraces;
     applyObservability(cfg, opts);
+    applyFaultLabel(cfg, controllerKindName(kind));
     if (kind != ControllerKind::Fixed)
         cfg.mcdEnabled = true;
     return runOne(benchmark, cfg, opts.instructions,
@@ -64,6 +86,7 @@ runSynchronousBaseline(const std::string &benchmark,
     cfg.seed = seed;
     cfg.recordTraces = opts.recordTraces;
     applyObservability(cfg, opts);
+    applyFaultLabel(cfg, "sync-baseline");
     return runOne(benchmark, cfg, opts.instructions, "sync-baseline");
 }
 
@@ -83,6 +106,7 @@ runMcdBaseline(const std::string &benchmark, const RunOptions &opts,
     cfg.seed = seed;
     cfg.recordTraces = opts.recordTraces;
     applyObservability(cfg, opts);
+    applyFaultLabel(cfg, "mcd-baseline");
     return runOne(benchmark, cfg, opts.instructions, "mcd-baseline");
 }
 

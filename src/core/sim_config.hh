@@ -25,6 +25,7 @@
 #include "dvfs/dvfs_model.hh"
 #include "dvfs/pid_controller.hh"
 #include "dvfs/vf_curve.hh"
+#include "fault/fault_plan.hh"
 #include "mem/memory_system.hh"
 #include "obs/trace_sink.hh"
 #include "power/energy_model.hh"
@@ -154,6 +155,45 @@ struct SimConfig
 
     // ---- Run control ----------------------------------------------
     std::uint64_t seed = 1;
+
+    // ---- Fault tolerance (src/fault/) -----------------------------
+    /**
+     * Deterministic fault plan, or null (the default — no injection,
+     * zero overhead: every hook is behind one null-pointer branch).
+     * The plan is shared immutable state; per-run randomness is
+     * derived from (seed, faultAttempt) inside the processor.
+     */
+    std::shared_ptr<const FaultPlan> faults;
+
+    /**
+     * Which execution attempt this run is (1-based). Retries get a
+     * fresh attempt number so their fault streams differ and
+     * attempt-limited specs ("attempts=1") stop firing.
+     */
+    std::uint32_t faultAttempt = 1;
+
+    /**
+     * Run labels the fault plan matches bench=/scheme= filters
+     * against. Empty means "match wildcards only".
+     */
+    std::string faultBenchmark;
+    std::string faultScheme;
+
+    /**
+     * Deterministic watchdog: abort the run with SimError at site
+     * "event-budget" once the event queue has processed this many
+     * events. 0 disables. Purely a function of the simulation, so it
+     * trips identically on every host and --jobs setting.
+     */
+    std::uint64_t eventBudget = 0;
+
+    /**
+     * Opt-in cancellation poll, checked every few thousand events;
+     * returning true aborts the run with SimError at site "deadline".
+     * The callable may consult a wall clock (it runs in exec-layer
+     * code); results then depend on host speed, so harness mode only.
+     */
+    std::function<bool()> cancelCheck;
 
     /** Record frequency / queue traces (needed by Figures 7-8). */
     bool recordTraces = false;

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/check.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "obs/debug_flags.hh"
 #include "obs/stats_registry.hh"
 #include "obs/trace_sink.hh"
@@ -22,7 +24,8 @@ DvfsDriver::DvfsDriver(const VfCurve &curve, const DvfsModel &model,
       target(current)
 {
     if (samplingPeriod == 0)
-        fatal("DvfsDriver: sampling period must be nonzero");
+        throw ConfigError("dvfs-driver",
+                          "sampling period must be nonzero");
     act.applyOperatingPoint(current, vf.voltageAt(current));
 }
 
@@ -49,15 +52,32 @@ DvfsDriver::sampleTick(Tick now, double queue_occupancy)
     // (otherwise every mid-stall request would extend the stall and
     // the domain would never run again).
     const bool busy = inTransition() || stalled(now);
+
+    // Fault hooks: a dropped update loses the whole sampling tick
+    // (the controller neither observes nor decides); sensor noise
+    // perturbs only what the controller sees — the true occupancy is
+    // what stats and traces record.
+    if (faults) {
+        if (faults->dropUpdate(faultDom))
+            return;
+        queue_occupancy = faults->perturbOccupancy(faultDom,
+                                                   queue_occupancy);
+    }
+
     const std::uint64_t cancels_before =
         trace ? ctrl.stats().cancellations : 0;
-    const DvfsDecision d = ctrl.sample(queue_occupancy, current, busy);
+    DvfsDecision d = ctrl.sample(queue_occupancy, current, busy);
     if (trace && ctrl.stats().cancellations > cancels_before)
         trace->decision(now, traceDom, "cancel", current / 1e9);
+    if (faults)
+        d = faults->filterDecision(faultDom, d);
     if (!d.change || stalled(now))
         return;
 
-    const Hertz new_target = vf.clampFrequency(d.targetHz);
+    double requested_hz = d.targetHz;
+    if (faults)
+        requested_hz = faults->clampTarget(faultDom, requested_hz);
+    const Hertz new_target = vf.clampFrequency(requested_hz);
     if (new_target == target)
         return;
 
@@ -108,6 +128,13 @@ DvfsDriver::attachTrace(obs::TraceSink *sink, DomainId dom)
     trace = sink && sink->enabled() && sink->wantsDecisions() ? sink
                                                               : nullptr;
     traceDom = dom;
+}
+
+void
+DvfsDriver::attachFaults(FaultInjector *injector, std::size_t dom_index)
+{
+    faults = injector && injector->active() ? injector : nullptr;
+    faultDom = dom_index;
 }
 
 } // namespace mcd

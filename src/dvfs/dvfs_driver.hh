@@ -29,6 +29,7 @@ namespace mcd
 {
 
 enum class DomainId : std::uint8_t;
+class FaultInjector;
 
 namespace obs
 {
@@ -91,6 +92,16 @@ class DvfsDriver
      */
     void attachTrace(obs::TraceSink *sink, DomainId dom);
 
+    /**
+     * Attach a fault injector; @p dom_index is the controlled-domain
+     * index (0=INT, 1=FP, 2=LS) used to match domain-filtered specs.
+     * Injection happens between the controller and the actuator: the
+     * controller observes perturbed occupancy, dropped ticks skip the
+     * controller entirely, and decisions pass through the delay line
+     * and target clamp before the V/f curve.
+     */
+    void attachFaults(FaultInjector *injector, std::size_t dom_index);
+
   private:
     const VfCurve &vf;
     DvfsModel mdl;
@@ -107,6 +118,10 @@ class DvfsDriver
     /** Attached sink, or nullptr. */
     obs::TraceSink *trace = nullptr;
     DomainId traceDom{};
+
+    /** Attached fault injector, or nullptr (the common case). */
+    FaultInjector *faults = nullptr;
+    std::size_t faultDom = 0;
 };
 
 } // namespace mcd

@@ -11,9 +11,11 @@
 #include <utility>
 
 #include "common/check.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "exec/exec_profile.hh"
 #include "exec/worker_pool.hh"
+#include "fault/fault_plan.hh"
 #include "obs/debug_flags.hh"
 
 namespace mcd
@@ -124,6 +126,20 @@ syncBaselineTask(std::string benchmark,
     return t;
 }
 
+std::string
+runTaskLabel(const RunTask &task)
+{
+    switch (task.kind) {
+      case RunTaskKind::Scheme:
+        return controllerKindName(task.controller);
+      case RunTaskKind::McdBaseline:
+        return "mcd-baseline";
+      case RunTaskKind::SyncBaseline:
+        return "sync-baseline";
+    }
+    panic("unknown task kind %d", static_cast<int>(task.kind));
+}
+
 SimResult
 runTask(const RunTask &task)
 {
@@ -139,6 +155,107 @@ runTask(const RunTask &task)
                                       task.seed);
     }
     panic("unknown task kind %d", static_cast<int>(task.kind));
+}
+
+namespace
+{
+
+/**
+ * Deterministic busy loop for the task-slow fault: burns a fixed
+ * amount of work independent of compiler and host, so the injected
+ * delay scales with spin count everywhere.
+ */
+void
+spinFor(std::uint64_t iterations)
+{
+    volatile std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < iterations; ++i)
+        acc += i;
+    (void)acc;
+}
+
+} // namespace
+
+RunOutcome
+runTaskOutcome(const RunTask &task)
+{
+    MCDSIM_CHECK(task.opts != nullptr, "task without options");
+    const RunOptions &opts = *task.opts;
+    const std::uint32_t max_attempts =
+        std::max<std::uint32_t>(1, opts.maxAttempts);
+    const FaultPlan *plan = opts.config.faults.get();
+    const std::string label = runTaskLabel(task);
+
+    RunOutcome out;
+    out.attempts = 0;
+    for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        ++out.attempts;
+        try {
+            // Exec-level fault sites, evaluated against the run label
+            // before the simulator is even built.
+            if (plan) {
+                if (const FaultSpec *slow = plan->taskFault(
+                        FaultSite::TaskSlow, task.benchmark, label,
+                        attempt)) {
+                    spinFor(slow->spin);
+                }
+                if (plan->taskFault(FaultSite::TaskThrow, task.benchmark,
+                                    label, attempt)) {
+                    throw ExecError("task-throw",
+                                    "injected task failure for " +
+                                        task.benchmark + "/" + label +
+                                        " attempt " +
+                                        std::to_string(attempt));
+                }
+            }
+
+            // The common path shares the caller's immutable options;
+            // only a retry or a wall deadline needs a private copy
+            // (fresh attempt number for the fault streams, and a
+            // per-run cancel callback).
+            if (attempt == 1 && opts.wallDeadlineMs == 0) {
+                out.result = runTask(task);
+            } else {
+                auto private_opts = std::make_shared<RunOptions>(opts);
+                private_opts->config.faultAttempt = attempt;
+                if (opts.wallDeadlineMs > 0) {
+                    const auto deadline =
+                        ProfClock::now() + // lint:allow(no-wallclock)
+                        std::chrono::milliseconds(opts.wallDeadlineMs);
+                    private_opts->config.cancelCheck = [deadline] {
+                        return ProfClock::now() >= // lint:allow(no-wallclock)
+                               deadline;
+                    };
+                }
+                RunTask retry = task;
+                retry.opts = std::move(private_opts);
+                out.result = runTask(retry);
+            }
+
+            out.status =
+                attempt > 1 ? RunStatus::RetriedOk : RunStatus::Ok;
+            out.error.clear();
+            return out;
+        } catch (const SimError &e) {
+            out.error = e.what();
+            out.status = (e.site() == "event-budget" ||
+                          e.site() == "deadline")
+                             ? RunStatus::TimedOut
+                             : RunStatus::Failed;
+        } catch (const std::exception &e) {
+            out.error = e.what();
+            out.status = RunStatus::Failed;
+        } catch (...) {
+            out.error = "unknown exception";
+            out.status = RunStatus::Failed;
+        }
+        MCDSIM_TRACE(obs::DebugFlag::Exec,
+                     "task %s/%s attempt %u failed: %s",
+                     task.benchmark.c_str(), label.c_str(), attempt,
+                     out.error.c_str());
+    }
+    out.result = SimResult{};
+    return out;
 }
 
 ParallelRunner::ParallelRunner() : ParallelRunner(configuredJobs()) {}
@@ -202,6 +319,49 @@ ParallelRunner::run(const std::vector<RunTask> &tasks) const
     return results;
 }
 
+std::vector<RunOutcome>
+ParallelRunner::runOutcomes(const std::vector<RunTask> &tasks) const
+{
+    std::vector<RunOutcome> outcomes(tasks.size());
+
+    if (jobCount == 1 || tasks.size() <= 1) {
+        PhaseTimer run_phase(profile, "run");
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            MCDSIM_TRACE(obs::DebugFlag::Exec, "serial task %zu: %s", i,
+                         tasks[i].benchmark.c_str());
+            if (profile) {
+                const auto started = ProfClock::now();
+                outcomes[i] = runTaskOutcome(tasks[i]);
+                profile->recordTask(
+                    0.0, std::chrono::duration<double, std::milli>(
+                             ProfClock::now() - started)
+                             .count());
+            } else {
+                outcomes[i] = runTaskOutcome(tasks[i]);
+            }
+        }
+        return outcomes;
+    }
+
+    // No per-task error slots here: runTaskOutcome never throws, so
+    // the pool's leaked-exception machinery stays quiet and outcomes
+    // land at their task index regardless of completion order.
+    PhaseTimer run_phase(profile, "run");
+    WorkerPool pool(std::min(jobCount, tasks.size()), profile);
+    {
+        PhaseTimer dispatch_phase(profile, "dispatch");
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            MCDSIM_TRACE(obs::DebugFlag::Exec, "dispatch task %zu: %s", i,
+                         tasks[i].benchmark.c_str());
+            pool.submit([&tasks, &outcomes, i] {
+                outcomes[i] = runTaskOutcome(tasks[i]);
+            });
+        }
+    }
+    pool.waitIdle();
+    return outcomes;
+}
+
 std::vector<ComparisonRow>
 runComparison(const std::vector<std::string> &names,
               const std::vector<ControllerKind> &kinds,
@@ -218,23 +378,46 @@ runComparison(const std::vector<std::string> &names,
             tasks.push_back(schemeTask(name, kind, shared));
     }
 
-    std::vector<SimResult> results = ParallelRunner().run(tasks);
+    std::vector<RunOutcome> outcomes = ParallelRunner().runOutcomes(tasks);
 
+    // Graceful degradation: a failed scheme run fails only its own
+    // row; a failed baseline fails every row of that benchmark (there
+    // is nothing to normalize against), each carrying the baseline's
+    // error context. All other rows are emitted normally.
     std::vector<ComparisonRow> rows;
     rows.reserve(names.size() * kinds.size());
     std::size_t idx = 0;
     for (const auto &name : names) {
-        const SimResult &base = results[idx++];
+        RunOutcome &base = outcomes[idx++];
         for (ControllerKind kind : kinds) {
+            RunOutcome &run = outcomes[idx++];
             ComparisonRow row;
             row.benchmark = name;
             row.scheme = controllerKindName(kind);
-            row.result = std::move(results[idx++]);
-            row.vsBaseline = compare(row.result, base);
+            row.status = run.status;
+            row.attempts = run.attempts;
+            row.error = run.error;
+            row.result = std::move(run.result);
+            if (run.ok() && base.ok()) {
+                row.vsBaseline = compare(row.result, base.result);
+            } else if (run.ok()) {
+                row.status = base.status;
+                row.attempts = base.attempts;
+                row.error = "mcd-baseline: " + base.error;
+            }
             rows.push_back(std::move(row));
         }
     }
     return rows;
+}
+
+std::size_t
+failedRowCount(const std::vector<ComparisonRow> &rows)
+{
+    return static_cast<std::size_t>(
+        std::count_if(rows.begin(), rows.end(), [](const ComparisonRow &r) {
+            return !runSucceeded(r.status);
+        }));
 }
 
 } // namespace mcd

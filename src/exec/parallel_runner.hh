@@ -77,6 +77,35 @@ RunTask syncBaselineTask(std::string benchmark,
 SimResult runTask(const RunTask &task);
 
 /**
+ * One task's outcome under graceful degradation: status, how many
+ * attempts it took, and the error text of the last failed attempt.
+ * result is meaningful only when runSucceeded(status).
+ */
+struct RunOutcome
+{
+    RunStatus status = RunStatus::Ok;
+    std::uint32_t attempts = 1;
+    std::string error;
+    SimResult result;
+
+    bool ok() const { return runSucceeded(status); }
+};
+
+/**
+ * Execute one task in this thread with isolation: exec-level fault
+ * sites (task-throw, task-slow from the options' fault plan), bounded
+ * retry (RunOptions::maxAttempts, fresh McdProcessor and fresh fault
+ * streams per attempt), the opt-in wall deadline
+ * (RunOptions::wallDeadlineMs), and every exception mapped to a
+ * RunOutcome instead of propagating. SimError at sites
+ * "event-budget" / "deadline" becomes RunStatus::TimedOut.
+ */
+RunOutcome runTaskOutcome(const RunTask &task);
+
+/** Report label of a task: scheme name or the baseline labels. */
+std::string runTaskLabel(const RunTask &task);
+
+/**
  * Resolved worker count: setConfiguredJobs override, else
  * MCDSIM_JOBS, else hardware concurrency (minimum 1). A malformed
  * MCDSIM_JOBS value warns to stderr and is ignored.
@@ -115,6 +144,17 @@ class ParallelRunner
      */
     std::vector<SimResult> run(const std::vector<RunTask> &tasks) const;
 
+    /**
+     * Run every task with per-run isolation; outcomes in task order.
+     * Never throws for a failing task — failures are returned as
+     * RunOutcome rows (runTaskOutcome above), so one poisoned run
+     * cannot abort the suite. Outcomes are byte-identical between
+     * jobs = 1 and jobs = N: both paths run the same guarded function
+     * per task and ordering never depends on completion order.
+     */
+    std::vector<RunOutcome>
+    runOutcomes(const std::vector<RunTask> &tasks) const;
+
   private:
     std::size_t jobCount;
     ExecProfile *profile = nullptr;
@@ -130,6 +170,13 @@ std::vector<ComparisonRow>
 runComparison(const std::vector<std::string> &names,
               const std::vector<ControllerKind> &kinds,
               const RunOptions &opts);
+
+/**
+ * Rows whose run (or baseline) did not succeed. Harnesses use this
+ * to print a failure summary and exit non-zero while still emitting
+ * the partial table.
+ */
+std::size_t failedRowCount(const std::vector<ComparisonRow> &rows);
 
 } // namespace mcd
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hh"
+#include "common/error.hh"
 #include "exec/exec_profile.hh"
 
 namespace mcd
@@ -64,9 +65,30 @@ WorkerPool::waitIdle()
     idle.wait(lock, [this] { return queue.empty() && running == 0; });
     if (firstError) {
         std::exception_ptr err = std::exchange(firstError, nullptr);
+        const std::size_t count = std::exchange(leakedCount, 0);
         lock.unlock();
-        std::rethrow_exception(err);
+        if (count <= 1)
+            std::rethrow_exception(err);
+        // Several tasks failed: surface the total so later failures
+        // are not silently swallowed behind the first one.
+        std::string first = "unknown exception";
+        try {
+            std::rethrow_exception(err);
+        } catch (const std::exception &e) {
+            first = e.what();
+        } catch (...) {
+        }
+        throw ExecError("worker-pool",
+                        std::to_string(count) +
+                            " tasks leaked exceptions; first: " + first);
     }
+}
+
+std::size_t
+WorkerPool::leakedExceptions()
+{
+    std::lock_guard lock(mtx);
+    return leakedCount;
 }
 
 void
@@ -102,8 +124,11 @@ WorkerPool::workerLoop(std::stop_token stop)
         }
 
         lock.lock();
-        if (err && !firstError)
-            firstError = err;
+        if (err) {
+            ++leakedCount;
+            if (!firstError)
+                firstError = err;
+        }
         --running;
         if (queue.empty() && running == 0)
             idle.notify_all();

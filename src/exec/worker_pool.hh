@@ -65,10 +65,17 @@ class WorkerPool
     void submit(std::function<void()> task);
 
     /**
-     * Block until the queue is empty and no task is running, then
-     * rethrow the first exception any task leaked (if one did).
+     * Block until the queue is empty and no task is running. If
+     * exactly one task leaked an exception it is rethrown as-is; if
+     * several did, an ExecError (site "worker-pool") reporting the
+     * total count and the first exception's message is thrown —
+     * subsequent leaks are counted, never silently dropped. Either
+     * way the error state is consumed, so the pool is reusable.
      */
     void waitIdle();
+
+    /** Exceptions leaked by tasks since the last waitIdle() rethrow. */
+    std::size_t leakedExceptions();
 
     std::size_t threadCount() const { return workers.size(); }
 
@@ -88,6 +95,7 @@ class WorkerPool
     std::deque<QueuedTask> queue;
     std::size_t running = 0; ///< tasks currently executing
     std::exception_ptr firstError;
+    std::size_t leakedCount = 0; ///< every leaked exception, not just #1
     ExecProfile *prof = nullptr;
 
     /** Last member: workers must start after the state above. */

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Deterministic fault plans.
+ *
+ * A FaultPlan is the parsed form of an MCDSIM_FAULTS / --faults spec
+ * string: a semicolon-separated list of named injection sites, each
+ * with key=value parameters, e.g.
+ *
+ *   sensor-noise:amp=2.0,rate=0.5,dom=int;task-throw:bench=gzip
+ *
+ * Sites (see DESIGN.md "Fault tolerance" for semantics):
+ *
+ *   sensor-noise   amp=<entries> [rate=] [dom=]  gaussian noise on the
+ *                  queue-occupancy sample the controller observes
+ *   drop-update    [rate=] [dom=]     a sampling tick is lost: the
+ *                  controller neither observes nor decides
+ *   delay-update   samples=<n> [rate=] [dom=]   a change decision is
+ *                  held for n sampling periods before it reaches the
+ *                  DVFS driver
+ *   clamp-vf       lo=<GHz> hi=<GHz> [dom=]     requested targets are
+ *                  clamped into [lo, hi] at the driver
+ *   trace-corrupt  [rate=]            a trace-file record is corrupted
+ *                  (invalid class byte) as it is read
+ *   task-throw     [bench=] [scheme=] [attempts=]  the matching run
+ *                  throws ExecError before simulating
+ *   task-slow      spin=<iters> [bench=] [scheme=] [attempts=]  the
+ *                  matching run burns a deterministic busy loop first
+ *                  (pairs with the opt-in wall-clock deadline)
+ *
+ * Common keys: rate (probability per opportunity, default 1), dom
+ * (int|fp|ls|all, default all), bench/scheme (exact run label or *,
+ * default *), attempts (fire only while the run's attempt number is
+ * <= this; 0 = every attempt — the knob that makes retries succeed).
+ *
+ * Parsing is strict: unknown sites, unknown keys, malformed numbers,
+ * and out-of-range values all throw ConfigError. A parsed plan is
+ * immutable and shared (std::shared_ptr<const FaultPlan>) by every
+ * run of a batch; per-run randomness lives in FaultInjector.
+ */
+
+#ifndef MCDSIM_FAULT_FAULT_PLAN_HH
+#define MCDSIM_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcd
+{
+
+/** Named fault-injection sites. */
+enum class FaultSite : std::uint8_t
+{
+    SensorNoise,
+    DropUpdate,
+    DelayUpdate,
+    ClampVf,
+    TraceCorrupt,
+    TaskThrow,
+    TaskSlow,
+};
+
+constexpr std::size_t numFaultSites = 7;
+
+/** Spec-string spelling of @p site ("sensor-noise", ...). */
+const char *faultSiteName(FaultSite site);
+
+/** One configured injection site. */
+struct FaultSpec
+{
+    FaultSite site = FaultSite::SensorNoise;
+
+    /** Probability per opportunity, in [0, 1]. */
+    double rate = 1.0;
+
+    /** sensor-noise: gaussian stddev in queue entries. */
+    double amplitude = 0.0;
+
+    /** delay-update: sampling periods a decision is held. */
+    std::uint32_t delaySamples = 0;
+
+    /** clamp-vf: admissible target band, GHz. */
+    double loGhz = 0.0;
+    double hiGhz = 0.0;
+
+    /** task-slow: busy-loop iterations. */
+    std::uint64_t spin = 0;
+
+    /** Controlled-domain filter: -1 = all, else 0=INT, 1=FP, 2=LS. */
+    int domain = -1;
+
+    /** Run matchers ("*" = any). */
+    std::string benchmark = "*";
+    std::string scheme = "*";
+
+    /** Fire only while attempt <= this; 0 = every attempt. */
+    std::uint32_t attempts = 0;
+
+    /** True when this spec applies to controlled domain @p dom. */
+    bool
+    matchesDomain(std::size_t dom) const
+    {
+        return domain < 0 || static_cast<std::size_t>(domain) == dom;
+    }
+
+    /** True when this spec applies to the named run/attempt. */
+    bool matchesRun(const std::string &bench, const std::string &sch,
+                    std::uint32_t attempt) const;
+};
+
+/** An immutable, ordered collection of fault specs. */
+class FaultPlan
+{
+  public:
+    /** Parse @p spec (see file comment); throws ConfigError. An empty
+     *  or all-whitespace string yields an empty plan. */
+    static FaultPlan parse(const std::string &spec);
+
+    /** parse() wrapped in a shared_ptr; "" returns nullptr so the
+     *  no-plan fast paths stay on the literal null check. */
+    static std::shared_ptr<const FaultPlan>
+    parseShared(const std::string &spec);
+
+    bool empty() const { return _specs.empty(); }
+    const std::vector<FaultSpec> &specs() const { return _specs; }
+
+    /** Specs for @p site, in declaration order. */
+    std::vector<const FaultSpec *> specsFor(FaultSite site) const;
+
+    /** True when any spec targets a simulation-level site. */
+    bool hasSimFaults() const;
+
+    /** First matching exec-level spec for the run, else nullptr. */
+    const FaultSpec *taskFault(FaultSite site, const std::string &bench,
+                               const std::string &scheme,
+                               std::uint32_t attempt) const;
+
+    /** Canonical re-rendering of the plan (stable across parses). */
+    std::string canonical() const;
+
+  private:
+    std::vector<FaultSpec> _specs;
+};
+
+} // namespace mcd
+
+#endif // MCDSIM_FAULT_FAULT_PLAN_HH

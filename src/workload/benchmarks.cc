@@ -1,6 +1,6 @@
 #include "workload/benchmarks.hh"
 
-#include "common/logging.hh"
+#include "common/error.hh"
 
 namespace mcd
 {
@@ -406,7 +406,7 @@ benchmarkInfo(const std::string &name)
         if (r.info.name == name)
             return r.info;
     }
-    fatal("unknown benchmark '%s'", name.c_str());
+    throw ConfigError("benchmark", "unknown benchmark '" + name + "'");
 }
 
 std::unique_ptr<PhaseTraceGenerator>
@@ -424,7 +424,7 @@ makeBenchmark(const std::string &name, std::uint64_t total,
         return std::make_unique<PhaseTraceGenerator>(name, r.build(),
                                                      total, h, r.cycle);
     }
-    fatal("unknown benchmark '%s'", name.c_str());
+    throw ConfigError("benchmark", "unknown benchmark '" + name + "'");
 }
 
 } // namespace mcd

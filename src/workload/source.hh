@@ -13,11 +13,20 @@
 namespace mcd
 {
 
+class FaultInjector;
+
 /** Produces a deterministic stream of dynamic instructions. */
 class WorkloadSource
 {
   public:
     virtual ~WorkloadSource() = default;
+
+    /**
+     * Attach a fault injector (trace-corrupt site). The default is a
+     * no-op; file-backed sources override it. @p injector may be null
+     * or outlive the source's last next() call.
+     */
+    virtual void attachFaults(FaultInjector *injector) { (void)injector; }
 
     /**
      * Produce the next instruction into @p out.

@@ -2,7 +2,8 @@
 
 #include <cstring>
 
-#include "common/logging.hh"
+#include "common/error.hh"
+#include "fault/fault_injector.hh"
 
 namespace mcd
 {
@@ -52,12 +53,11 @@ pack(const TraceInst &inst)
     return rec;
 }
 
+/** Unpack a record whose class byte has already been validated. */
 TraceInst
 unpack(const FileRecord &rec)
 {
     TraceInst inst{};
-    if (rec.cls >= numInstClasses)
-        fatal("trace record with invalid class %u", rec.cls);
     inst.cls = static_cast<InstClass>(rec.cls);
     inst.pc = rec.pc;
     if (inst.cls == InstClass::Branch)
@@ -77,48 +77,73 @@ writeTraceFile(const std::string &path, WorkloadSource &source)
 {
     std::FILE *file = std::fopen(path.c_str(), "wb");
     if (!file)
-        fatal("cannot open trace file '%s' for writing", path.c_str());
+        throw TraceError("trace-open", "cannot open trace file '" + path +
+                                           "' for writing");
 
     FileHeader header{};
     std::memcpy(header.magic, traceMagic, 4);
     header.version = traceVersion;
     header.count = 0; // patched after the body
-    if (std::fwrite(&header, sizeof(header), 1, file) != 1)
-        fatal("short write on '%s'", path.c_str());
+    if (std::fwrite(&header, sizeof(header), 1, file) != 1) {
+        std::fclose(file);
+        throw TraceError("trace-write", "short write on '" + path + "'");
+    }
 
     TraceInst inst;
     std::uint64_t count = 0;
     while (source.next(inst)) {
         const FileRecord rec = pack(inst);
-        if (std::fwrite(&rec, sizeof(rec), 1, file) != 1)
-            fatal("short write on '%s'", path.c_str());
+        if (std::fwrite(&rec, sizeof(rec), 1, file) != 1) {
+            std::fclose(file);
+            throw TraceError("trace-write",
+                             "short write on '" + path + "' at record " +
+                                 std::to_string(count),
+                             count);
+        }
         ++count;
     }
 
     header.count = count;
     if (std::fseek(file, 0, SEEK_SET) != 0 ||
         std::fwrite(&header, sizeof(header), 1, file) != 1) {
-        fatal("cannot patch header of '%s'", path.c_str());
+        std::fclose(file);
+        throw TraceError("trace-write",
+                         "cannot patch header of '" + path + "'");
     }
     std::fclose(file);
     return count;
 }
 
-TraceFileSource::TraceFileSource(const std::string &path)
-    : fileName(path)
+TraceFileSource::TraceFileSource(const std::string &path,
+                                 TraceRecovery recovery)
+    : fileName(path), mode(recovery)
 {
     file = std::fopen(path.c_str(), "rb");
     if (!file)
-        fatal("cannot open trace file '%s'", path.c_str());
+        throw TraceError("trace-open",
+                         "cannot open trace file '" + path + "'");
 
     FileHeader header{};
-    if (std::fread(&header, sizeof(header), 1, file) != 1)
-        fatal("'%s': truncated trace header", path.c_str());
-    if (std::memcmp(header.magic, traceMagic, 4) != 0)
-        fatal("'%s' is not an mcdsim trace file", path.c_str());
-    if (header.version != traceVersion)
-        fatal("'%s': unsupported trace version %u", path.c_str(),
-              header.version);
+    if (std::fread(&header, sizeof(header), 1, file) != 1) {
+        std::fclose(file);
+        file = nullptr;
+        throw TraceError("trace-header",
+                         "'" + path + "': truncated trace header");
+    }
+    if (std::memcmp(header.magic, traceMagic, 4) != 0) {
+        std::fclose(file);
+        file = nullptr;
+        throw TraceError("trace-header",
+                         "'" + path + "' is not an mcdsim trace file");
+    }
+    if (header.version != traceVersion) {
+        const std::uint32_t version = header.version;
+        std::fclose(file);
+        file = nullptr;
+        throw TraceError("trace-header",
+                         "'" + path + "': unsupported trace version " +
+                             std::to_string(version));
+    }
     count = header.count;
     dataOffset = std::ftell(file);
 }
@@ -129,25 +154,61 @@ TraceFileSource::~TraceFileSource()
         std::fclose(file);
 }
 
+void
+TraceFileSource::attachFaults(FaultInjector *injector)
+{
+    faults = injector && injector->active() ? injector : nullptr;
+}
+
 bool
 TraceFileSource::next(TraceInst &out)
 {
-    if (delivered >= count)
-        return false;
-    FileRecord rec{};
-    if (std::fread(&rec, sizeof(rec), 1, file) != 1)
-        fatal("'%s': truncated trace body", fileName.c_str());
-    out = unpack(rec);
-    ++delivered;
-    return true;
+    while (recordIndex < count) {
+        FileRecord rec{};
+        if (std::fread(&rec, sizeof(rec), 1, file) != 1) {
+            // Truncation is not recoverable: past EOF there is no
+            // record boundary to resynchronize on.
+            throw TraceError("trace-body",
+                             "'" + fileName +
+                                 "': truncated trace body at record " +
+                                 std::to_string(recordIndex),
+                             recordIndex);
+        }
+        const std::uint64_t idx = recordIndex++;
+
+        // trace-corrupt fault site: flip the class byte to an invalid
+        // value, exactly what on-disk corruption produces.
+        if (faults && faults->corruptTraceRecord())
+            rec.cls = 0xff;
+
+        if (rec.cls >= numInstClasses) {
+            if (mode == TraceRecovery::Skip) {
+                ++skipped;
+                continue;
+            }
+            throw TraceError("trace-record",
+                             "'" + fileName +
+                                 "': invalid instruction class " +
+                                 std::to_string(rec.cls) + " in record " +
+                                 std::to_string(idx),
+                             idx);
+        }
+
+        out = unpack(rec);
+        ++delivered;
+        return true;
+    }
+    return false;
 }
 
 void
 TraceFileSource::reset()
 {
     delivered = 0;
+    recordIndex = 0;
+    skipped = 0;
     if (std::fseek(file, dataOffset, SEEK_SET) != 0)
-        fatal("'%s': seek failed", fileName.c_str());
+        throw TraceError("trace-body", "'" + fileName + "': seek failed");
 }
 
 } // namespace mcd

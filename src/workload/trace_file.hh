@@ -13,6 +13,14 @@
  *
  * For branches the second u64 carries the taken target; for memory
  * operations the effective address; otherwise zero.
+ *
+ * All ingestion failures throw TraceError carrying the 0-based record
+ * index (the binary format's "line number"); header and open errors
+ * use TraceError::noRecord. A reader in Skip mode tolerates corrupt
+ * record bodies (invalid class bytes), counts them, and continues
+ * with the next record; Strict mode (the default) throws on the first
+ * one. Truncation is never skippable — past the end of the file there
+ * is nothing to resynchronize on.
  */
 
 #ifndef MCDSIM_WORKLOAD_TRACE_FILE_HH
@@ -27,6 +35,13 @@
 namespace mcd
 {
 
+/** What a trace reader does with a corrupt (but present) record. */
+enum class TraceRecovery
+{
+    Strict, ///< throw TraceError on the first corrupt record
+    Skip,   ///< count it, log nothing, continue with the next record
+};
+
 /** Write every instruction of @p source to @p path; returns count. */
 std::uint64_t writeTraceFile(const std::string &path,
                              WorkloadSource &source);
@@ -35,7 +50,8 @@ std::uint64_t writeTraceFile(const std::string &path,
 class TraceFileSource : public WorkloadSource
 {
   public:
-    explicit TraceFileSource(const std::string &path);
+    explicit TraceFileSource(const std::string &path,
+                             TraceRecovery recovery = TraceRecovery::Strict);
     ~TraceFileSource() override;
 
     TraceFileSource(const TraceFileSource &) = delete;
@@ -46,12 +62,27 @@ class TraceFileSource : public WorkloadSource
     std::uint64_t totalInstructions() const override { return count; }
     std::string name() const override { return fileName; }
 
+    /** trace-corrupt fault site: corrupt records as they are read. */
+    void attachFaults(FaultInjector *injector) override;
+
+    /** Corrupt records skipped so far (Skip mode only). */
+    std::uint64_t skippedRecords() const { return skipped; }
+
   private:
     std::string fileName;
     std::FILE *file = nullptr;
     std::uint64_t count = 0;
     std::uint64_t delivered = 0;
     long dataOffset = 0;
+
+    TraceRecovery mode = TraceRecovery::Strict;
+
+    /** Index of the next record to read, 0-based. */
+    std::uint64_t recordIndex = 0;
+    std::uint64_t skipped = 0;
+
+    /** Attached fault injector, or nullptr. */
+    FaultInjector *faults = nullptr;
 };
 
 } // namespace mcd

@@ -111,6 +111,53 @@ TEST(Check, HandlerInstallAndRestore)
     setCheckFailureHandler(prev);
 }
 
+/** Distinct exception so the test can tell which handler fired. */
+struct OuterHandlerFired
+{
+    std::string rendered;
+};
+
+[[noreturn]] void
+outerHandler(const CheckContext &ctx)
+{
+    throw OuterHandlerFired{renderCheckFailure(ctx)};
+}
+
+TEST(Check, ScopedThrowerRestoresOuterHandlerNotDefault)
+{
+    // A nested ScopedCheckThrower must hand control back to whatever
+    // handler surrounded it — not to the default abort handler, and
+    // not stay installed itself.
+    CheckFailureHandler prev = setCheckFailureHandler(&outerHandler);
+    {
+        ScopedCheckThrower inner;
+        // Inside the scope the throwing handler is active.
+        EXPECT_THROW(MCDSIM_CHECK(false, "inner"), CheckFailure);
+    }
+    // After the scope unwinds, the *outer* custom handler is live
+    // again: a failure raises OuterHandlerFired, not CheckFailure.
+    try {
+        MCDSIM_CHECK(false, "outer resumes");
+        FAIL() << "check did not fire";
+    } catch (const OuterHandlerFired &e) {
+        EXPECT_NE(e.rendered.find("outer resumes"), std::string::npos);
+    } catch (const CheckFailure &) {
+        FAIL() << "nested scope left the throwing handler installed";
+    }
+    setCheckFailureHandler(prev);
+}
+
+TEST(Check, ScopedThrowerNestsTwoDeep)
+{
+    ScopedCheckThrower outer;
+    {
+        ScopedCheckThrower inner;
+        EXPECT_THROW(MCDSIM_CHECK(false), CheckFailure);
+    }
+    // Outer scope still routes failures into exceptions.
+    EXPECT_THROW(MCDSIM_CHECK(false), CheckFailure);
+}
+
 TEST(Check, DcheckMatchesBuildType)
 {
     ScopedCheckThrower guard;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "core/mcd_processor.hh"
 #include "workload/benchmarks.hh"
 #include "workload/phase_generator.hh"
@@ -246,8 +247,7 @@ TEST(ProcessorDeath, DvfsRequiresMcd)
     SimConfig cfg = baseConfig(ControllerKind::Adaptive);
     cfg.mcdEnabled = false;
     auto src = simpleSource();
-    EXPECT_EXIT(McdProcessor(cfg, *src), ::testing::ExitedWithCode(1),
-                "requires the MCD");
+    EXPECT_THROW(McdProcessor(cfg, *src), ConfigError);
 }
 
 } // namespace

@@ -76,11 +76,42 @@ TEST(Report, ComparisonCsv)
     row.vsBaseline.perfDegradation = 0.02;
     row.result = sampleResult();
     const std::string s = comparisonCsvRow(row);
-    EXPECT_NE(s.find("swim,adaptive,0.1,0.02"), std::string::npos);
+    EXPECT_NE(s.find("swim,adaptive,ok,1,0.1,0.02"), std::string::npos);
 
     std::ostringstream os;
     writeComparisonCsv(os, {row});
     EXPECT_EQ(os.str().find(comparisonCsvHeader()), 0u);
+    EXPECT_NE(comparisonCsvHeader().find("status,attempts"),
+              std::string::npos);
+}
+
+TEST(Report, ComparisonCsvFailedRowHasEmptyNumericCells)
+{
+    ComparisonRow row;
+    row.benchmark = "swim";
+    row.scheme = "adaptive";
+    row.status = RunStatus::Failed;
+    row.attempts = 3;
+    row.error = "exec error at task-throw: injected,\nwith separators";
+    const std::string s = comparisonCsvRow(row);
+    // Numeric cells stay empty; the error is CSV-sanitized onto one
+    // line so the table still parses.
+    EXPECT_NE(s.find("swim,adaptive,failed,3,,,,,,"), std::string::npos);
+    EXPECT_EQ(s.find('\n'), std::string::npos);
+    EXPECT_NE(s.find("injected  with separators"), std::string::npos);
+}
+
+TEST(Report, ComparisonCsvRetriedAndTimedOutSpellings)
+{
+    ComparisonRow row;
+    row.result = sampleResult();
+    row.status = RunStatus::RetriedOk;
+    row.attempts = 2;
+    EXPECT_NE(comparisonCsvRow(row).find(",retried_ok,2,"),
+              std::string::npos);
+    row.status = RunStatus::TimedOut;
+    EXPECT_NE(comparisonCsvRow(row).find(",timed_out,"),
+              std::string::npos);
 }
 
 TEST(Report, JsonContainsNestedDomains)

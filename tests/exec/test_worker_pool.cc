@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hh"
 #include "exec/worker_pool.hh"
 
 namespace mcd
@@ -45,6 +46,41 @@ TEST(WorkerPool, WaitIdleRethrowsLeakedException)
     pool.submit([&ran] { ran = true; });
     pool.waitIdle();
     EXPECT_TRUE(ran.load());
+}
+
+TEST(WorkerPool, WaitIdleCountsEveryLeakedException)
+{
+    // Several tasks fail: the single-rethrow contract would silently
+    // swallow all but the first, so the pool must surface the total.
+    WorkerPool pool(2);
+    for (int i = 0; i < 5; ++i) {
+        pool.submit([] { throw std::runtime_error("boom"); });
+    }
+    for (int i = 0; i < 3; ++i)
+        pool.submit([] {}); // successes never count as leaks
+    try {
+        pool.waitIdle();
+        FAIL() << "expected ExecError";
+    } catch (const ExecError &e) {
+        EXPECT_EQ(e.site(), "worker-pool");
+        const std::string what = e.what();
+        EXPECT_NE(what.find("5 tasks leaked exceptions"),
+                  std::string::npos);
+        EXPECT_NE(what.find("boom"), std::string::npos);
+    }
+    // The error state is consumed with the rethrow.
+    EXPECT_EQ(pool.leakedExceptions(), 0u);
+    pool.submit([] {});
+    EXPECT_NO_THROW(pool.waitIdle());
+}
+
+TEST(WorkerPool, SingleLeakRethrowsOriginalType)
+{
+    // Exactly one failure keeps the original exception object so
+    // callers can still catch the precise type.
+    WorkerPool pool(2);
+    pool.submit([] { throw std::invalid_argument("only one"); });
+    EXPECT_THROW(pool.waitIdle(), std::invalid_argument);
 }
 
 TEST(WorkerPool, WaitIdleIsReusableAcrossBatches)

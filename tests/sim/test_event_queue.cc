@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.hh"
 #include "common/random.hh"
 #include "sim/event_queue.hh"
 
@@ -30,6 +31,110 @@ class LogEvent : public Event
     std::vector<int> &log;
     int _tag;
 };
+
+/** Event whose process() fails a contract check on command. */
+class ThrowingEvent : public Event
+{
+  public:
+    ThrowingEvent(std::vector<int> &log_ref, int tag)
+        : log(log_ref), _tag(tag)
+    {}
+
+    void
+    process() override
+    {
+        if (armed) {
+            armed = false;
+            MCDSIM_CHECK(false, "injected process() failure");
+        }
+        log.push_back(_tag);
+    }
+    const char *name() const override { return "throwing-event"; }
+
+    bool armed = true;
+
+  private:
+    std::vector<int> &log;
+    int _tag;
+};
+
+TEST(EventQueue, SurvivesProcessThrowMidDispatch)
+{
+    // Regression: step() defers the root removal while process()
+    // runs (the fused-reschedule fast path). If process() throws,
+    // the DispatchGuard must still complete the removal — otherwise
+    // the stale root corrupts every later sift and the queue either
+    // re-dispatches the dead event or violates heap order.
+    ScopedCheckThrower guard;
+    EventQueue eq;
+    std::vector<int> log;
+    ThrowingEvent bad(log, 99);
+    LogEvent a(log, 1), b(log, 2), c(log, 3);
+    eq.schedule(&a, 100);
+    eq.schedule(&bad, 200);
+    eq.schedule(&b, 300);
+    eq.schedule(&c, 400);
+
+    EXPECT_TRUE(eq.step()); // a at t=100
+    EXPECT_THROW(eq.step(), CheckFailure);
+
+    // The failed event was consumed, time stands at its tick, and the
+    // queue keeps dispatching the survivors in order.
+    EXPECT_EQ(eq.now(), 200u);
+    eq.runUntil(1000);
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ThrownEventCanBeRescheduled)
+{
+    ScopedCheckThrower guard;
+    EventQueue eq;
+    std::vector<int> log;
+    ThrowingEvent bad(log, 7);
+    eq.schedule(&bad, 10);
+    EXPECT_THROW(eq.step(), CheckFailure);
+    // The guard cleared the in-dispatch state: the same event object
+    // is schedulable again and processes normally (disarmed).
+    eq.schedule(&bad, 20);
+    eq.runUntil(100);
+    EXPECT_EQ(log, (std::vector<int>{7}));
+    EXPECT_EQ(eq.processedCount(), 2u);
+}
+
+TEST(EventQueue, ThrowAfterReschedulingOthersKeepsThem)
+{
+    // process() may have scheduled follow-up work before throwing;
+    // that work must survive the unwind.
+    class ScheduleThenThrow : public Event
+    {
+      public:
+        ScheduleThenThrow(EventQueue &q, Event &next_ev)
+            : eq(q), next(next_ev)
+        {}
+        void
+        process() override
+        {
+            eq.schedule(&next, eq.now() + 5);
+            MCDSIM_CHECK(false, "throw after scheduling");
+        }
+        const char *name() const override { return "schedule-throw"; }
+
+      private:
+        EventQueue &eq;
+        Event &next;
+    };
+
+    ScopedCheckThrower guard;
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent follow(log, 42);
+    ScheduleThenThrow bad(eq, follow);
+    eq.schedule(&bad, 10);
+    EXPECT_THROW(eq.step(), CheckFailure);
+    eq.runUntil(100);
+    EXPECT_EQ(log, (std::vector<int>{42}));
+}
 
 TEST(EventQueue, ProcessesInTimeOrder)
 {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
+#include "common/error.hh"
 #include "workload/benchmarks.hh"
 
 namespace mcd
@@ -58,12 +60,18 @@ TEST(Benchmarks, InfoLookup)
     EXPECT_FALSE(info.description.empty());
 }
 
-TEST(BenchmarksDeath, UnknownNameFatal)
+TEST(BenchmarksDeath, UnknownNameThrows)
 {
-    EXPECT_EXIT(benchmarkInfo("quake3"), ::testing::ExitedWithCode(1),
-                "unknown benchmark");
-    EXPECT_EXIT(makeBenchmark("quake3", 1000),
-                ::testing::ExitedWithCode(1), "unknown benchmark");
+    EXPECT_THROW(benchmarkInfo("quake3"), ConfigError);
+    EXPECT_THROW(makeBenchmark("quake3", 1000), ConfigError);
+    try {
+        benchmarkInfo("quake3");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_EQ(e.site(), "benchmark");
+        EXPECT_NE(std::string(e.what()).find("unknown benchmark"),
+                  std::string::npos);
+    }
 }
 
 /** Every profile must construct and deliver its full trace. */

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <string>
 
+#include "common/error.hh"
 #include "core/mcd_processor.hh"
 #include "workload/benchmarks.hh"
 #include "workload/trace_file.hh"
@@ -82,20 +85,108 @@ TEST(TraceFile, FileSizeMatchesFormat)
     std::remove(path.c_str());
 }
 
-TEST(TraceFileDeath, MissingFile)
+TEST(TraceFileErrors, MissingFileThrowsTraceError)
 {
-    EXPECT_EXIT(TraceFileSource("/nonexistent/nowhere.mcdt"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    try {
+        TraceFileSource src("/nonexistent/nowhere.mcdt");
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.site(), "trace-open");
+        EXPECT_EQ(e.recordIndex(), TraceError::noRecord);
+        EXPECT_NE(std::string(e.what()).find("cannot open"),
+                  std::string::npos);
+    }
 }
 
-TEST(TraceFileDeath, BadMagic)
+TEST(TraceFileErrors, BadMagicThrowsTraceError)
 {
     const std::string path = tempPath("bad.mcdt");
     std::ofstream out(path, std::ios::binary);
     out << "NOTATRACEFILEHEADER-PADDING-PAD";
     out.close();
-    EXPECT_EXIT(TraceFileSource{path}, ::testing::ExitedWithCode(1),
-                "not an mcdsim trace");
+    try {
+        TraceFileSource src(path);
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.site(), "trace-header");
+        EXPECT_NE(std::string(e.what()).find("not an mcdsim trace"),
+                  std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
+/** Write a valid trace, then stomp the class byte of one record. */
+std::string
+corruptedTrace(const char *name, std::uint64_t insts,
+               std::uint64_t victim)
+{
+    const std::string path = tempPath(name);
+    auto gen = makeBenchmark("gzip", insts, 3);
+    writeTraceFile(path, *gen);
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    // 24-byte header, 24-byte records, class byte at offset 20.
+    f.seekp(static_cast<std::streamoff>(24 + victim * 24 + 20));
+    const char bad = 0x7f;
+    f.write(&bad, 1);
+    return path;
+}
+
+TEST(TraceFileErrors, StrictModeReportsRecordIndex)
+{
+    const std::string path = corruptedTrace("strict.mcdt", 100, 41);
+    TraceFileSource src(path); // Strict is the default
+    TraceInst inst;
+    for (int i = 0; i < 41; ++i)
+        ASSERT_TRUE(src.next(inst));
+    try {
+        src.next(inst);
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.site(), "trace-record");
+        EXPECT_EQ(e.recordIndex(), 41u);
+        EXPECT_NE(std::string(e.what()).find("record 41"),
+                  std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileErrors, SkipModeDropsBadRecordsAndCounts)
+{
+    const std::string path = corruptedTrace("skip.mcdt", 100, 41);
+    TraceFileSource src(path, TraceRecovery::Skip);
+    TraceInst inst;
+    std::uint64_t delivered = 0;
+    while (src.next(inst))
+        ++delivered;
+    EXPECT_EQ(delivered, 99u);
+    EXPECT_EQ(src.skippedRecords(), 1u);
+    // reset() clears the skip counter with the read position.
+    src.reset();
+    EXPECT_EQ(src.skippedRecords(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileErrors, TruncatedBodyNeverSkippable)
+{
+    const std::string path = tempPath("trunc.mcdt");
+    {
+        auto gen = makeBenchmark("gzip", 10, 3);
+        writeTraceFile(path, *gen);
+    }
+    // Chop the last record in half: claims 10 records, delivers 9.5.
+    std::filesystem::resize_file(path, 24 + 9 * 24 + 12);
+    TraceFileSource src(path, TraceRecovery::Skip);
+    TraceInst inst;
+    for (int i = 0; i < 9; ++i)
+        ASSERT_TRUE(src.next(inst));
+    try {
+        src.next(inst);
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.site(), "trace-body");
+        EXPECT_EQ(e.recordIndex(), 9u);
+    }
     std::remove(path.c_str());
 }
 

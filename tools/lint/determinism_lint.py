@@ -344,6 +344,12 @@ SELF_TEST_CASES = [
      "void f() { std::fprintf(stderr, \"boom\\n\"); }\n"),
     ("no-raw-stderr", "src/mcd/bad12.cc",
      "#include <iostream>\nvoid g() { std::cerr << 1; }\n"),
+    # The fault layer gets no special dispensation: injected faults
+    # must be as deterministic as the simulation they perturb.
+    ("no-wallclock", "src/fault/bad13.cc",
+     "#include <random>\nstd::random_device entropy;\n"),
+    ("no-threading", "src/fault/bad14.cc",
+     "#include <atomic>\nstd::atomic<long> injected{0};\n"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -378,6 +384,14 @@ SELF_TEST_CLEAN = [
      "std::mutex mtx;\n"
      "std::condition_variable_any cv;\n"
      "std::atomic<int> jobs{0};\n"),
+    # Fault injection draws all randomness from seeded mcd::Rng
+    # streams forked per (spec, domain) — that idiom must lint clean.
+    ("src/fault/injector_style.cc",
+     "const Rng base = Rng(seed).fork(0xFA171000ull + attempt);\n"
+     "arm.rng[dom] = base.fork(key);\n"
+     "if (arm.rng[dom].chance(arm.spec->rate)) {\n"
+     "    occ += arm.rng[dom].gaussian(0.0, arm.spec->amplitude);\n"
+     "}\n"),
 ]
 
 
