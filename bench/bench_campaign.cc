@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Campaign driver: the paper's full evaluation sweep (benchmarks x
+ * schemes x seeds vs the MCD baseline) as one resumable, shardable,
+ * cache-aware invocation.
+ *
+ *   bench_campaign                         # run everything, print CSV
+ *   bench_campaign --cache=readwrite --cache-dir D
+ *                                          # ...and reuse results
+ *   bench_campaign --shard 2/3 --manifest m2.txt ...
+ *                                          # one slice of the sweep
+ *   bench_campaign --merge m1.txt,m2.txt,m3.txt ...
+ *                                          # combine slices
+ *   bench_campaign --bench-json PATH ...   # cold/warm timing record
+ *
+ * The comparison table is byte-identical however it was produced —
+ * cold cache, warm cache, merged shards, or --cache=off
+ * (tools/cache/check_cache_correctness.py holds the layer to that).
+ *
+ * Wall-clock timing (--bench-json) lives here in bench/ because
+ * tools/lint bans host time from src/: a cached result must be
+ * byte-identical to a computed one, and host time may never leak
+ * into either.
+ */
+
+#include <chrono>
+#include <sstream>
+
+#include "bench_common.hh"
+
+using namespace mcd;
+
+namespace
+{
+
+std::string &
+reportPath()
+{
+    static std::string path;
+    return path;
+}
+
+std::string &
+manifestPath()
+{
+    static std::string path;
+    return path;
+}
+
+std::string &
+mergeList()
+{
+    static std::string list;
+    return list;
+}
+
+std::string &
+benchJsonPath()
+{
+    static std::string path;
+    return path;
+}
+
+std::vector<std::uint64_t> &
+seedList()
+{
+    static std::vector<std::uint64_t> seeds;
+    return seeds;
+}
+
+std::vector<ControllerKind> &
+schemeList()
+{
+    static std::vector<ControllerKind> schemes;
+    return schemes;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        auto comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        if (comma > start)
+            out.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+ControllerKind
+parseScheme(const std::string &name)
+{
+    if (name == "adaptive")
+        return ControllerKind::Adaptive;
+    if (name == "pid-fixed-interval" || name == "pid")
+        return ControllerKind::Pid;
+    if (name == "attack-decay")
+        return ControllerKind::AttackDecay;
+    throw ConfigError("--schemes",
+                      "unknown scheme '" + name +
+                          "' (use adaptive, pid, attack-decay)");
+}
+
+void
+registerCampaignOptions()
+{
+    using Check = mcdbench::OptionDef::Check;
+    mcdbench::addHarnessOption(
+        {"--report", "PATH", "write the comparison CSV here (default "
+                             "stdout)",
+         Check::String, [](const std::string &v) { reportPath() = v; }});
+    mcdbench::addHarnessOption(
+        {"--manifest", "PATH", "write this invocation's shard manifest",
+         Check::String,
+         [](const std::string &v) { manifestPath() = v; }});
+    mcdbench::addHarnessOption(
+        {"--merge", "M1,M2,...", "merge shard manifests instead of "
+                                 "running",
+         Check::String, [](const std::string &v) { mergeList() = v; }});
+    mcdbench::addHarnessOption(
+        {"--seeds", "S1,S2,...", "workload seeds to sweep (default 1)",
+         Check::String,
+         [](const std::string &v) {
+             for (const auto &s : splitCommas(v)) {
+                 std::uint64_t seed = 0;
+                 for (char c : s) {
+                     if (c < '0' || c > '9')
+                         throw ConfigError("--seeds",
+                                           "bad seed '" + s + "'");
+                     seed = seed * 10 + static_cast<std::uint64_t>(
+                                            c - '0');
+                 }
+                 seedList().push_back(seed);
+             }
+         }});
+    mcdbench::addHarnessOption(
+        {"--schemes", "A,B,...", "schemes to sweep (default adaptive,"
+                                 "pid,attack-decay)",
+         Check::String,
+         [](const std::string &v) {
+             for (const auto &s : splitCommas(v))
+                 schemeList().push_back(parseScheme(s));
+         }});
+    mcdbench::addHarnessOption(
+        {"--bench-json", "PATH", "time a cold-then-warm pass, write "
+                                 "BENCH_campaign.json",
+         Check::String,
+         [](const std::string &v) { benchJsonPath() = v; }});
+}
+
+CampaignSpec
+buildSpec(const char *argv0)
+{
+    RunOptions opts;
+    opts.instructions = mcdbench::runLength();
+    mcdbench::applyObservability(opts);
+    mcdbench::applyFaultTolerance(opts, argv0);
+
+    CampaignSpec spec;
+    spec.benchmarks = mcdbench::allBenchmarks();
+    spec.schemes = schemeList().empty()
+                       ? std::vector<ControllerKind>{
+                             ControllerKind::Adaptive,
+                             ControllerKind::Pid,
+                             ControllerKind::AttackDecay}
+                       : schemeList();
+    spec.seeds = seedList();
+    spec.options = opts;
+    return spec;
+}
+
+void
+printSummary(const CampaignResult &r)
+{
+    std::fprintf(stderr,
+                 "campaign: %zu runs total, %zu in shard %u/%u "
+                 "(%zu executed, %zu cached, %zu failed)\n",
+                 r.total, r.runs.size(), r.shard.index, r.shard.count,
+                 r.executed, r.cached, r.failed);
+    const RunCache::Stats &cs = r.cacheStats;
+    if (cs.hits || cs.misses || cs.stale || cs.stores ||
+        cs.uncacheable || cs.errors) {
+        std::fprintf(stderr,
+                     "cache: %llu hits, %llu misses, %llu stale, "
+                     "%llu stores, %llu uncacheable, %llu errors\n",
+                     static_cast<unsigned long long>(cs.hits),
+                     static_cast<unsigned long long>(cs.misses),
+                     static_cast<unsigned long long>(cs.stale),
+                     static_cast<unsigned long long>(cs.stores),
+                     static_cast<unsigned long long>(cs.uncacheable),
+                     static_cast<unsigned long long>(cs.errors));
+    }
+}
+
+/** Emit the comparison table (file or stdout) and the obs artifacts. */
+int
+emitComplete(const CampaignSpec &spec, const CampaignResult &result)
+{
+    const std::vector<ComparisonRow> rows = comparisonRows(spec, result);
+    std::ostringstream csv;
+    writeComparisonCsv(csv, rows);
+    if (reportPath().empty())
+        std::fputs(csv.str().c_str(), stdout);
+    else
+        mcdbench::writeArtifact(reportPath(), csv.str());
+    mcdbench::emitObservability(rows);
+    return mcdbench::reportRowFailures(rows);
+}
+
+/** Timed cold-then-warm pass; writes the flat JSON perf record. */
+int
+runTimedBench(const CampaignSpec &spec, RunCache &cache,
+              const char *argv0)
+{
+    if (!cache.writable())
+        mcdbench::argError(argv0, "--bench-json",
+                           "timing mode needs --cache=readwrite");
+
+    auto timedRun = [&](RunCache &c) {
+        Campaign campaign(spec, &c);
+        const auto t0 = std::chrono::steady_clock::now();
+        CampaignResult r = campaign.run();
+        const auto t1 = std::chrono::steady_clock::now();
+        return std::make_pair(
+            std::chrono::duration<double>(t1 - t0).count(),
+            std::move(r));
+    };
+
+    auto [coldSeconds, cold] = timedRun(cache);
+    // Fresh RunCache over the same directory: counters start at zero,
+    // so the warm pass's hit count is its own.
+    RunCache warmCache(cache.config());
+    auto [warmSeconds, warm] = timedRun(warmCache);
+
+    const bool allHit = warm.cached == warm.total;
+    const double speedup =
+        warmSeconds > 0.0 ? coldSeconds / warmSeconds : 0.0;
+
+    std::ostringstream js;
+    js << "{\n";
+    js << "  \"runs\": " << cold.total << ",\n";
+    js << "  \"instructions_per_run\": " << spec.options.instructions
+       << ",\n";
+    js << "  \"cold_seconds\": " << coldSeconds << ",\n";
+    js << "  \"cold_executed\": " << cold.executed << ",\n";
+    js << "  \"warm_seconds\": " << warmSeconds << ",\n";
+    js << "  \"warm_cached\": " << warm.cached << ",\n";
+    js << "  \"warm_all_hits\": " << (allHit ? "true" : "false")
+       << ",\n";
+    js << "  \"warm_speedup\": " << speedup << "\n";
+    js << "}\n";
+    mcdbench::writeArtifact(benchJsonPath(), js.str());
+
+    std::fprintf(stderr,
+                 "campaign bench: cold %.2fs (%zu runs), warm %.2fs "
+                 "(%zu hits), speedup %.1fx\n",
+                 coldSeconds, cold.executed, warmSeconds, warm.cached,
+                 speedup);
+    if (!allHit || cold.failed || warm.failed) {
+        std::fprintf(stderr, "campaign bench: warm pass missed the "
+                             "cache or runs failed\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerCampaignOptions();
+    mcdbench::parseHarnessArgs(argc, argv);
+
+    try {
+        const CampaignSpec spec = buildSpec(argv[0]);
+        RunCache cache = mcdbench::openRunCache(argv[0]);
+
+        if (!benchJsonPath().empty())
+            return runTimedBench(spec, cache, argv[0]);
+
+        CampaignResult result;
+        if (!mergeList().empty()) {
+            if (!cache.enabled())
+                mcdbench::argError(argv[0], "--merge",
+                                   "merging needs the shard cache "
+                                   "(--cache=read or readwrite)");
+            result = mergeShards(spec, splitCommas(mergeList()), cache);
+        } else {
+            Campaign campaign(spec,
+                              cache.enabled() ? &cache : nullptr);
+            result = campaign.run(mcdbench::shardFlag());
+        }
+
+        if (!manifestPath().empty())
+            writeManifest(result, manifestPath());
+        printSummary(result);
+
+        // A complete result (1/1 shard or merge) emits the table; a
+        // partial shard only reports its own failures.
+        if (result.runs.size() == result.total)
+            return emitComplete(spec, result);
+        return result.failed == 0 ? 0 : 1;
+    } catch (const McdError &e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 2;
+    }
+}

@@ -1,11 +1,12 @@
 /**
  * @file
- * Shared glue for the experiment harnesses: run-length control via
- * the MCDSIM_INSTS environment variable, parallelism control via
- * MCDSIM_JOBS / --jobs, suite listing, and table formatting helpers.
- * Each harness regenerates one table or figure of the paper (see
- * DESIGN.md's experiment index and EXPERIMENTS.md for
- * paper-vs-measured records).
+ * Shared glue for the experiment harnesses: a declarative option
+ * table every harness parses (jobs, observability, fault tolerance,
+ * run cache, sharding — one registration point per flag, generated
+ * --help), run-length control via the MCDSIM_INSTS environment
+ * variable, suite listing, and table formatting helpers. Each harness
+ * regenerates one table or figure of the paper (see DESIGN.md's
+ * experiment index and EXPERIMENTS.md for paper-vs-measured records).
  */
 
 #ifndef MCDSIM_BENCH_BENCH_COMMON_HH
@@ -15,7 +16,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/mcdsim.hh"
@@ -100,6 +103,33 @@ deadlineMs()
 /** @} */
 
 /**
+ * @{ Run-cache / sharding knobs from `--cache MODE`, `--cache-dir
+ * PATH`, `--shard i/N`. The cache defaults to off; the directory
+ * falls back to MCDSIM_CACHE_DIR (resolved in openRunCache below).
+ */
+inline mcd::CacheMode &
+cacheModeFlag()
+{
+    static mcd::CacheMode mode = mcd::CacheMode::Off;
+    return mode;
+}
+
+inline std::string &
+cacheDirFlag()
+{
+    static std::string dir;
+    return dir;
+}
+
+inline mcd::Shard &
+shardFlag()
+{
+    static mcd::Shard shard;
+    return shard;
+}
+/** @} */
+
+/**
  * Structured argument failure, rendered like the McdError taxonomy
  * ("config error at <site>: <context>") so harness CLI errors grep
  * the same as library ones. Exits 2 (usage error).
@@ -113,83 +143,192 @@ argError(const char *argv0, const char *site, const std::string &context)
 }
 
 /**
- * Harness command-line entry point: understands `--jobs N`
- * (forwarded to the execution layer, taking precedence over
- * MCDSIM_JOBS), `--stats-out PATH`, `--trace-out PATH`, and the
- * fault-tolerance knobs `--faults SPEC` (overrides MCDSIM_FAULTS),
- * `--retries N`, `--event-budget N`, `--deadline-ms N` (each also in
- * `--flag=value` form). Call once at the top of main().
- * Unrecognised or malformed arguments abort with a structured error
- * so typos are not silently ignored.
+ * One command-line option every harness understands. The table below
+ * is the single registration point: adding an entry gives the flag to
+ * all harnesses at once — parsing, `--flag value` and `--flag=value`
+ * forms, validation with the uniform argError() style, and a line in
+ * the generated --help, with no per-harness code.
+ */
+struct OptionDef
+{
+    /** Flag name including the leading dashes, e.g. "--jobs". */
+    const char *name;
+
+    /** Placeholder in usage text, e.g. "N" or "PATH". */
+    const char *valueName;
+
+    /** One-line description for --help. */
+    const char *help;
+
+    /** Validation applied before apply(): any string, a positive
+     *  integer, or an integer that may be zero. */
+    enum class Check : std::uint8_t { String, UintPositive, UintAny };
+    Check check = Check::String;
+
+    /** Consume the validated value. May throw mcd::ConfigError, which
+     *  parseHarnessArgs renders through argError(). */
+    std::function<void(const std::string &)> apply;
+};
+
+/**
+ * The shared option table. Harness-specific flags can be appended via
+ * addHarnessOption() before parseHarnessArgs(); the built-in set is
+ * registered on first use.
+ */
+inline std::vector<OptionDef> &
+optionTable()
+{
+    using Check = OptionDef::Check;
+    static std::vector<OptionDef> table = {
+        {"--jobs", "N", "worker threads (overrides MCDSIM_JOBS)",
+         Check::UintPositive,
+         [](const std::string &v) {
+             mcd::setConfiguredJobs(
+                 static_cast<std::size_t>(std::stoull(v)));
+         }},
+        {"--stats-out", "PATH", "write stats dumps (text + PATH.json)",
+         Check::String,
+         [](const std::string &v) { statsOutPath() = v; }},
+        {"--trace-out", "PATH", "write Chrome trace-event documents",
+         Check::String,
+         [](const std::string &v) { traceOutPath() = v; }},
+        {"--faults", "SPEC", "fault plan (overrides MCDSIM_FAULTS)",
+         Check::String, [](const std::string &v) { faultSpec() = v; }},
+        {"--retries", "N", "extra attempts for a failed run",
+         Check::UintAny,
+         [](const std::string &v) {
+             retryCount() = static_cast<std::uint32_t>(std::stoull(v));
+         }},
+        {"--event-budget", "N", "abort a run after N kernel events",
+         Check::UintAny,
+         [](const std::string &v) { eventBudget() = std::stoull(v); }},
+        {"--deadline-ms", "N", "wall-clock deadline per run",
+         Check::UintAny,
+         [](const std::string &v) { deadlineMs() = std::stoull(v); }},
+        {"--cache", "MODE", "run cache: off, read, or readwrite",
+         Check::String,
+         [](const std::string &v) {
+             cacheModeFlag() = mcd::parseCacheMode(v);
+         }},
+        {"--cache-dir", "PATH",
+         "run-cache directory (default MCDSIM_CACHE_DIR)",
+         Check::String,
+         [](const std::string &v) { cacheDirFlag() = v; }},
+        {"--shard", "i/N", "run slice i of N (1-based)", Check::String,
+         [](const std::string &v) { shardFlag() = mcd::parseShard(v); }},
+    };
+    return table;
+}
+
+/** Register a harness-specific flag (call before parseHarnessArgs). */
+inline void
+addHarnessOption(OptionDef def)
+{
+    optionTable().push_back(std::move(def));
+}
+
+/** Print the generated usage/help text for the current table. */
+inline void
+printHarnessHelp(std::FILE *out, const char *argv0)
+{
+    std::fprintf(out, "usage: %s", argv0);
+    for (const auto &def : optionTable())
+        std::fprintf(out, " [%s %s]", def.name, def.valueName);
+    std::fprintf(out, " [--help]\n\noptions:\n");
+    for (const auto &def : optionTable()) {
+        const std::string head =
+            std::string(def.name) + " " + def.valueName;
+        std::fprintf(out, "  %-22s %s\n", head.c_str(), def.help);
+    }
+    std::fprintf(out, "  %-22s %s\n", "--help", "show this help");
+}
+
+/**
+ * Harness command-line entry point: parses every option in
+ * optionTable() (both `--flag value` and `--flag=value` forms) plus
+ * `--help`. Call once at the top of main(). Unrecognised or malformed
+ * arguments abort with a structured error so typos are not silently
+ * ignored; an option's apply() throwing mcd::ConfigError is rendered
+ * the same way.
  */
 inline void
 parseHarnessArgs(int argc, char **argv)
 {
     auto usage = [&](const char *bad) {
-        std::fprintf(stderr,
-                     "%s: unrecognised argument '%s'\n"
-                     "usage: %s [--jobs N] [--stats-out PATH] "
-                     "[--trace-out PATH] [--faults SPEC] [--retries N] "
-                     "[--event-budget N] [--deadline-ms N]\n",
-                     argv[0], bad, argv[0]);
+        std::fprintf(stderr, "%s: unrecognised argument '%s'\n", argv[0],
+                     bad);
+        printHarnessHelp(stderr, argv[0]);
         std::exit(2);
     };
     // from_chars end-to-end: rejects empty, negatives (no '-' for
     // unsigned), and trailing garbage like "4x" or "1e3".
-    auto parseUint = [&](const char *flag, const char *text,
-                         bool allow_zero) {
+    auto checkUint = [&](const OptionDef &def, const std::string &text) {
+        const bool allow_zero =
+            def.check == OptionDef::Check::UintAny;
         std::uint64_t value = 0;
-        const char *end = text + std::strlen(text);
-        const auto [ptr, ec] = std::from_chars(text, end, value);
+        const char *begin = text.c_str();
+        const char *end = begin + text.size();
+        const auto [ptr, ec] = std::from_chars(begin, end, value);
         if (ec != std::errc{} || ptr != end ||
             (!allow_zero && value == 0)) {
-            argError(argv[0], flag,
+            argError(argv[0], def.name,
                      std::string("expected a ") +
                          (allow_zero ? "non-negative" : "positive") +
                          " integer, got '" + text + "'");
         }
-        return value;
     };
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
-        auto value = [&](const char *flag,
-                         std::size_t flag_len) -> const char * {
-            if (std::strncmp(arg, flag, flag_len) == 0 &&
-                arg[flag_len] == '=')
-                return arg + flag_len + 1;
-            if (i + 1 >= argc)
-                usage(arg);
-            return argv[++i];
-        };
-        if (std::strcmp(arg, "--jobs") == 0 ||
-            std::strncmp(arg, "--jobs=", 7) == 0) {
-            mcd::setConfiguredJobs(static_cast<std::size_t>(
-                parseUint("--jobs", value("--jobs", 6), false)));
-        } else if (std::strcmp(arg, "--stats-out") == 0 ||
-                   std::strncmp(arg, "--stats-out=", 12) == 0) {
-            statsOutPath() = value("--stats-out", 11);
-        } else if (std::strcmp(arg, "--trace-out") == 0 ||
-                   std::strncmp(arg, "--trace-out=", 12) == 0) {
-            traceOutPath() = value("--trace-out", 11);
-        } else if (std::strcmp(arg, "--faults") == 0 ||
-                   std::strncmp(arg, "--faults=", 9) == 0) {
-            faultSpec() = value("--faults", 8);
-        } else if (std::strcmp(arg, "--retries") == 0 ||
-                   std::strncmp(arg, "--retries=", 10) == 0) {
-            retryCount() = static_cast<std::uint32_t>(
-                parseUint("--retries", value("--retries", 9), true));
-        } else if (std::strcmp(arg, "--event-budget") == 0 ||
-                   std::strncmp(arg, "--event-budget=", 15) == 0) {
-            eventBudget() =
-                parseUint("--event-budget", value("--event-budget", 14),
-                          true);
-        } else if (std::strcmp(arg, "--deadline-ms") == 0 ||
-                   std::strncmp(arg, "--deadline-ms=", 14) == 0) {
-            deadlineMs() = parseUint("--deadline-ms",
-                                     value("--deadline-ms", 13), true);
-        } else {
-            usage(arg);
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            printHarnessHelp(stdout, argv[0]);
+            std::exit(0);
         }
+        const OptionDef *match = nullptr;
+        std::string value;
+        for (const auto &def : optionTable()) {
+            const std::size_t len = std::strlen(def.name);
+            if (std::strncmp(arg, def.name, len) != 0)
+                continue;
+            if (arg[len] == '=') {
+                match = &def;
+                value = arg + len + 1;
+                break;
+            }
+            if (arg[len] == '\0') {
+                if (i + 1 >= argc)
+                    usage(arg);
+                match = &def;
+                value = argv[++i];
+                break;
+            }
+        }
+        if (!match)
+            usage(arg);
+        if (match->check != OptionDef::Check::String)
+            checkUint(*match, value);
+        try {
+            match->apply(value);
+        } catch (const mcd::ConfigError &e) {
+            argError(argv[0], e.site().c_str(), e.context());
+        }
+    }
+}
+
+/**
+ * The run cache the command line asked for: resolves --cache /
+ * --cache-dir / MCDSIM_CACHE_DIR into an opened RunCache (disabled
+ * unless --cache was given). A mode without a directory is a usage
+ * error, reported in the uniform style.
+ */
+inline mcd::RunCache
+openRunCache(const char *argv0 = "mcdsim")
+{
+    try {
+        return mcd::RunCache(
+            mcd::resolveCacheConfig(cacheModeFlag(), cacheDirFlag()));
+    } catch (const mcd::ConfigError &e) {
+        argError(argv0, e.site().c_str(), e.context());
     }
 }
 

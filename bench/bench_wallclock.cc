@@ -19,7 +19,6 @@
 #include <thread>
 
 #include "bench_common.hh"
-#include "exec/exec_profile.hh"
 
 using namespace mcd;
 

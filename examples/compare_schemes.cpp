@@ -28,7 +28,8 @@ try {
                 info.expectedFastVarying ? "fast" : "slow",
                 static_cast<unsigned long long>(opts.instructions));
 
-    const mcd::SimResult base = mcd::runMcdBaseline(benchmark, opts);
+    const mcd::SimResult base =
+        mcd::run(mcd::mcdBaselineSpec(benchmark, opts));
     std::printf("MCD baseline: %.3f ms, %.3f mJ (all domains at "
                 "1 GHz)\n\n",
                 base.seconds() * 1e3, base.energy * 1e3);
@@ -39,7 +40,7 @@ try {
          {mcd::ControllerKind::Adaptive, mcd::ControllerKind::Pid,
           mcd::ControllerKind::AttackDecay}) {
         const mcd::SimResult r =
-            mcd::runBenchmark(benchmark, kind, opts);
+            mcd::run(mcd::schemeSpec(benchmark, kind, opts));
         const mcd::Comparison c = mcd::compare(r, base);
         std::printf("%-18s %8.2f %8.2f %8.2f %9.3fG %9.3fG %9.3fG\n",
                     r.controller.c_str(), c.energySavings * 100,

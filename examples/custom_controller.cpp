@@ -76,11 +76,12 @@ try {
                                                         high[domain]);
         };
 
-    const mcd::SimResult base = mcd::runMcdBaseline(benchmark, opts);
-    const mcd::SimResult custom =
-        mcd::runBenchmark(benchmark, mcd::ControllerKind::Custom, opts);
-    const mcd::SimResult adaptive = mcd::runBenchmark(
-        benchmark, mcd::ControllerKind::Adaptive, opts);
+    const mcd::SimResult base =
+        mcd::run(mcd::mcdBaselineSpec(benchmark, opts));
+    const mcd::SimResult custom = mcd::run(
+        mcd::schemeSpec(benchmark, mcd::ControllerKind::Custom, opts));
+    const mcd::SimResult adaptive = mcd::run(
+        mcd::schemeSpec(benchmark, mcd::ControllerKind::Adaptive, opts));
 
     std::printf("custom-controller demo on %s\n\n", benchmark.c_str());
     std::printf("%-12s %10s %10s %10s\n", "scheme", "E-sav%", "P-deg%",

@@ -15,6 +15,11 @@
  *     --json                JSON output (single run only)
  *     --save-trace PATH     write the generated trace to a file and exit
  *     --list                list benchmark profiles and exit
+ *
+ * Run-cache maintenance (store at --cache-dir or MCDSIM_CACHE_DIR):
+ *   mcdsim_cli cache stats [--cache-dir PATH]
+ *   mcdsim_cli cache gc --max-bytes N [--cache-dir PATH]
+ *   mcdsim_cli cache clear [--cache-dir PATH]
  */
 
 #include <cstdio>
@@ -58,11 +63,78 @@ printHuman(const mcd::SimResult &r)
                 r.domains[2].avgFrequency / 1e9);
 }
 
+/**
+ * `mcdsim_cli cache <stats|gc|clear>`: maintenance of the
+ * content-addressed run store. gc drops orphaned schema versions and
+ * then the oldest entries until the store fits --max-bytes.
+ */
+int
+cacheCommand(int argc, char **argv)
+{
+    const std::string action = argc > 2 ? argv[2] : "";
+    std::string dir;
+    std::uint64_t max_bytes = 0;
+    bool have_max = false;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                mcd::fatal("option '%s' needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--cache-dir") {
+            dir = value();
+        } else if (arg == "--max-bytes") {
+            max_bytes = std::strtoull(value().c_str(), nullptr, 10);
+            have_max = true;
+        } else {
+            mcd::fatal("unknown cache option '%s'", arg.c_str());
+        }
+    }
+
+    const mcd::CacheConfig cfg =
+        mcd::resolveCacheConfig(mcd::CacheMode::Read, dir);
+    mcd::RunCache cache(cfg);
+
+    if (action == "stats") {
+        const auto u = cache.usage();
+        std::printf("cache %s (schema v%u): %llu entries, %llu bytes\n",
+                    cfg.dir.c_str(),
+                    static_cast<unsigned>(mcd::kRunSpecSchemaVersion),
+                    static_cast<unsigned long long>(u.entries),
+                    static_cast<unsigned long long>(u.bytes));
+        return 0;
+    }
+    if (action == "gc") {
+        if (!have_max)
+            mcd::fatal("cache gc needs --max-bytes N");
+        const auto removed = cache.gc(max_bytes);
+        const auto u = cache.usage();
+        std::printf("cache gc: removed %llu entries; %llu entries, "
+                    "%llu bytes remain\n",
+                    static_cast<unsigned long long>(removed),
+                    static_cast<unsigned long long>(u.entries),
+                    static_cast<unsigned long long>(u.bytes));
+        return 0;
+    }
+    if (action == "clear") {
+        const auto removed = cache.removeAll();
+        std::printf("cache clear: removed %llu entries\n",
+                    static_cast<unsigned long long>(removed));
+        return 0;
+    }
+    mcd::fatal("unknown cache action '%s' (stats|gc|clear)",
+               action.c_str());
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 try {
+    if (argc > 1 && std::strcmp(argv[1], "cache") == 0)
+        return cacheCommand(argc, argv);
+
     std::string bench = "epic_decode";
     std::string scheme = "adaptive";
     mcd::RunOptions opts;
@@ -132,9 +204,10 @@ try {
     const mcd::ControllerKind kind = parseScheme(scheme);
     std::vector<mcd::SimResult> results;
     for (const auto &n : names) {
-        mcd::SimResult r = mcd::runBenchmark(n, kind, opts);
+        mcd::SimResult r = mcd::run(mcd::schemeSpec(n, kind, opts));
         if (with_baseline && !csv && !json) {
-            const mcd::SimResult base = mcd::runMcdBaseline(n, opts);
+            const mcd::SimResult base =
+                mcd::run(mcd::mcdBaselineSpec(n, opts));
             const mcd::Comparison c = mcd::compare(r, base);
             printHuman(r);
             std::printf("  vs baseline: E-sav %.2f%%  P-deg %.2f%%  "

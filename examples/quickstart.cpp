@@ -25,9 +25,9 @@ try {
                 static_cast<unsigned long long>(opts.instructions));
 
     const mcd::SimResult base =
-        mcd::runSynchronousBaseline(benchmark, opts);
-    const mcd::SimResult adaptive =
-        mcd::runBenchmark(benchmark, mcd::ControllerKind::Adaptive, opts);
+        mcd::run(mcd::syncBaselineSpec(benchmark, opts));
+    const mcd::SimResult adaptive = mcd::run(
+        mcd::schemeSpec(benchmark, mcd::ControllerKind::Adaptive, opts));
     const mcd::Comparison delta = mcd::compare(adaptive, base);
 
     std::printf("%-22s %14s %14s\n", "", "sync-baseline", "adaptive");

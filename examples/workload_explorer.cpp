@@ -50,7 +50,7 @@ try {
     opts.instructions = insts;
     opts.recordTraces = true;
     opts.config.traceStride = 1;
-    const mcd::SimResult r = mcd::runMcdBaseline(name, opts);
+    const mcd::SimResult r = mcd::run(mcd::mcdBaselineSpec(name, opts));
     std::printf("baseline run: IPC %.2f, L1D miss %.1f%%, branch "
                 "accuracy %.1f%%\n",
                 static_cast<double>(r.instructions) /

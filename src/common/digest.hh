@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Content digests for the run cache (src/campaign/).
+ *
+ * A cache key must be stable across processes, hosts, and library
+ * rebuilds, so it cannot be std::hash (unspecified, per-process) —
+ * it has to be a real cryptographic digest of the canonical RunSpec
+ * text. SHA-256 is implemented here directly (FIPS 180-4) so the
+ * library keeps its zero-external-dependency policy; throughput is
+ * irrelevant at cache-key sizes (a canonical spec is ~2 KB).
+ */
+
+#ifndef MCDSIM_COMMON_DIGEST_HH
+#define MCDSIM_COMMON_DIGEST_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mcd
+{
+
+/** Streaming SHA-256 (FIPS 180-4). */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p len bytes at @p data. */
+    void update(const void *data, std::size_t len);
+
+    void
+    update(std::string_view text)
+    {
+        update(text.data(), text.size());
+    }
+
+    /** Finish and return the 32-byte digest. Call at most once. */
+    std::array<std::uint8_t, 32> finish();
+
+    /** Finish and render as 64 lowercase hex characters. */
+    std::string finishHex();
+
+  private:
+    void compress(const std::uint8_t block[64]);
+
+    std::array<std::uint32_t, 8> state;
+    std::uint64_t totalBytes = 0;
+    std::array<std::uint8_t, 64> buffer{};
+    std::size_t buffered = 0;
+};
+
+/** One-shot digest of @p text, as 64 lowercase hex characters. */
+std::string sha256Hex(std::string_view text);
+
+} // namespace mcd
+
+#endif // MCDSIM_COMMON_DIGEST_HH

@@ -1,7 +1,6 @@
 #include "core/runner.hh"
 
-#include "core/mcd_processor.hh"
-#include "workload/benchmarks.hh"
+#include "core/run_spec.hh"
 
 namespace mcd
 {
@@ -18,102 +17,53 @@ runStatusName(RunStatus status)
     return "?";
 }
 
-namespace
-{
-
-/** Copy the per-batch observability switches into one run's config. */
-void
-applyObservability(SimConfig &cfg, const RunOptions &opts)
-{
-    cfg.collectStats = opts.collectStats;
-    cfg.trace = opts.trace;
-}
-
-/** Give fault specs a scheme label to match against (the run label,
- *  which is also what reports print). */
-void
-applyFaultLabel(SimConfig &cfg, const char *label)
-{
-    if (cfg.faults && cfg.faultScheme.empty())
-        cfg.faultScheme = label;
-}
-
-/** Build the source, run the processor, label the result. */
-SimResult
-runOne(const std::string &benchmark, const SimConfig &cfg,
-       std::uint64_t instructions, const char *label)
-{
-    auto source = makeBenchmark(benchmark, instructions, cfg.seed);
-    McdProcessor proc(cfg, *source);
-    SimResult r = proc.run(instructions);
-    r.controller = label;
-    return r;
-}
-
-} // namespace
+// The legacy overload family is now a set of thin shims over the one
+// canonical entry point, run() in core/run_spec.hh. They route through
+// the exact same resolveConfig + execute path as run(RunSpec), so
+// their output is byte-identical (tests/core/test_runner.cc pins it).
 
 SimResult
 runBenchmark(const std::string &benchmark, ControllerKind kind,
              const RunOptions &opts, std::uint64_t seed)
 {
-    SimConfig cfg = opts.config;
-    cfg.controller = kind;
-    cfg.seed = seed;
-    cfg.recordTraces = opts.recordTraces;
-    applyObservability(cfg, opts);
-    applyFaultLabel(cfg, controllerKindName(kind));
-    if (kind != ControllerKind::Fixed)
-        cfg.mcdEnabled = true;
-    return runOne(benchmark, cfg, opts.instructions,
-                  controllerKindName(kind));
+    return run(benchmark, RunKind::Scheme, kind, seed, opts);
 }
 
 SimResult
 runBenchmark(const std::string &benchmark, ControllerKind kind,
              const RunOptions &opts)
 {
-    return runBenchmark(benchmark, kind, opts, opts.seed);
+    return run(benchmark, RunKind::Scheme, kind, opts.seed, opts);
 }
 
 SimResult
 runSynchronousBaseline(const std::string &benchmark,
                        const RunOptions &opts, std::uint64_t seed)
 {
-    SimConfig cfg = opts.config;
-    cfg.controller = ControllerKind::Fixed;
-    cfg.mcdEnabled = false;
-    cfg.jitterEnabled = false;
-    cfg.seed = seed;
-    cfg.recordTraces = opts.recordTraces;
-    applyObservability(cfg, opts);
-    applyFaultLabel(cfg, "sync-baseline");
-    return runOne(benchmark, cfg, opts.instructions, "sync-baseline");
+    return run(benchmark, RunKind::SyncBaseline, ControllerKind::Fixed,
+               seed, opts);
 }
 
 SimResult
 runSynchronousBaseline(const std::string &benchmark, const RunOptions &opts)
 {
-    return runSynchronousBaseline(benchmark, opts, opts.seed);
+    return run(benchmark, RunKind::SyncBaseline, ControllerKind::Fixed,
+               opts.seed, opts);
 }
 
 SimResult
 runMcdBaseline(const std::string &benchmark, const RunOptions &opts,
                std::uint64_t seed)
 {
-    SimConfig cfg = opts.config;
-    cfg.controller = ControllerKind::Fixed;
-    cfg.mcdEnabled = true;
-    cfg.seed = seed;
-    cfg.recordTraces = opts.recordTraces;
-    applyObservability(cfg, opts);
-    applyFaultLabel(cfg, "mcd-baseline");
-    return runOne(benchmark, cfg, opts.instructions, "mcd-baseline");
+    return run(benchmark, RunKind::McdBaseline, ControllerKind::Fixed,
+               seed, opts);
 }
 
 SimResult
 runMcdBaseline(const std::string &benchmark, const RunOptions &opts)
 {
-    return runMcdBaseline(benchmark, opts, opts.seed);
+    return run(benchmark, RunKind::McdBaseline, ControllerKind::Fixed,
+               opts.seed, opts);
 }
 
 } // namespace mcd

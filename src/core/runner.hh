@@ -89,6 +89,16 @@ struct ComparisonRow
 };
 
 /**
+ * @{
+ * Deprecated overload family (since the RunSpec redesign): thin shims
+ * over the canonical entry point `mcd::run(RunSpec)` declared in
+ * core/run_spec.hh, kept for one PR so downstream code keeps
+ * compiling. They produce byte-identical output to the RunSpec path
+ * (same resolveConfig, same execute path — pinned by
+ * tests/core/test_runner.cc). New code should build a RunSpec (or use
+ * the schemeSpec/mcdBaselineSpec/syncBaselineSpec builders) and call
+ * run().
+ *
  * Run @p benchmark under @p kind with @p seed (the explicit-seed
  * forms let a task runner sweep seeds without copying RunOptions).
  * The synchronous full-speed baseline is ControllerKind::Fixed with
@@ -116,6 +126,7 @@ SimResult runMcdBaseline(const std::string &benchmark,
                          const RunOptions &opts, std::uint64_t seed);
 SimResult runMcdBaseline(const std::string &benchmark,
                          const RunOptions &opts);
+/** @} */
 
 } // namespace mcd
 

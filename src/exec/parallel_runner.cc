@@ -140,21 +140,25 @@ runTaskLabel(const RunTask &task)
     panic("unknown task kind %d", static_cast<int>(task.kind));
 }
 
+RunSpec
+taskSpec(const RunTask &task)
+{
+    MCDSIM_CHECK(task.opts != nullptr, "task without options");
+    RunSpec spec;
+    spec.benchmark = task.benchmark;
+    spec.kind = task.kind;
+    spec.controller = task.controller;
+    spec.seed = task.seed;
+    spec.options = *task.opts;
+    return spec;
+}
+
 SimResult
 runTask(const RunTask &task)
 {
     MCDSIM_CHECK(task.opts != nullptr, "task without options");
-    switch (task.kind) {
-      case RunTaskKind::Scheme:
-        return runBenchmark(task.benchmark, task.controller, *task.opts,
-                            task.seed);
-      case RunTaskKind::McdBaseline:
-        return runMcdBaseline(task.benchmark, *task.opts, task.seed);
-      case RunTaskKind::SyncBaseline:
-        return runSynchronousBaseline(task.benchmark, *task.opts,
-                                      task.seed);
-    }
-    panic("unknown task kind %d", static_cast<int>(task.kind));
+    return run(task.benchmark, task.kind, task.controller, task.seed,
+               *task.opts);
 }
 
 namespace

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/run_spec.hh"
 #include "core/runner.hh"
 
 namespace mcd
@@ -34,13 +35,12 @@ namespace mcd
 
 class ExecProfile;
 
-/** What a RunTask simulates. */
-enum class RunTaskKind : std::uint8_t
-{
-    Scheme,       ///< runBenchmark with RunTask::controller
-    McdBaseline,  ///< full-speed MCD substrate, DVFS off
-    SyncBaseline, ///< conventional synchronous chip at f_max
-};
+/**
+ * What a RunTask simulates. RunKind (core/run_spec.hh) is the
+ * canonical enum since the RunSpec redesign; this alias keeps the
+ * exec-layer spelling compiling.
+ */
+using RunTaskKind = RunKind;
 
 /**
  * One independent simulation run. Tasks share one immutable
@@ -72,6 +72,13 @@ RunTask mcdBaselineTask(std::string benchmark,
 RunTask syncBaselineTask(std::string benchmark,
                          std::shared_ptr<const RunOptions> opts);
 /** @} */
+
+/**
+ * The RunSpec a task describes (materializes a private RunOptions
+ * copy — the bridge for cache-key digests and the campaign layer;
+ * execution itself stays on the shared-options path).
+ */
+RunSpec taskSpec(const RunTask &task);
 
 /** Execute one task in this thread (the serial building block). */
 SimResult runTask(const RunTask &task);

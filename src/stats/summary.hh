@@ -85,6 +85,33 @@ class SummaryStats
     double min() const { return n ? _min : 0.0; }
     double max() const { return n ? _max : 0.0; }
 
+    /**
+     * @{ Byte-exact persistence (campaign/result_io.cc): the raw
+     * internal state, and its inverse. rawMin/rawMax expose the
+     * +-infinity sentinels of an empty accumulator (min()/max() mask
+     * them), and m2 is stored directly — reconstructing it from
+     * variance() would round differently and break the cache layer's
+     * bit-for-bit round-trip guarantee.
+     */
+    double m2State() const { return m2; }
+    double rawMin() const { return _min; }
+    double rawMax() const { return _max; }
+
+    static SummaryStats
+    restore(std::uint64_t count, double mean, double m2_state, double sum,
+            double raw_min, double raw_max)
+    {
+        SummaryStats s;
+        s.n = count;
+        s._mean = mean;
+        s.m2 = m2_state;
+        s._sum = sum;
+        s._min = raw_min;
+        s._max = raw_max;
+        return s;
+    }
+    /** @} */
+
   private:
     std::uint64_t n = 0;
     double _mean = 0.0;

@@ -59,6 +59,30 @@ class TimeSeries
     const SummaryStats &summary() const { return stats; }
 
     /**
+     * @{ Byte-exact persistence (campaign/result_io.cc). The sample
+     * counter and summary cover *all* observations; the stored
+     * tick/value arrays only the retained ones — replaying add()
+     * could not reconstruct either, so restore() reinstates the raw
+     * state directly.
+     */
+    std::size_t strideState() const { return _stride; }
+    std::size_t counterState() const { return counter; }
+
+    static TimeSeries
+    restore(std::string series_name, std::size_t stride,
+            std::size_t sample_counter, std::vector<Tick> tick_data,
+            std::vector<double> value_data, const SummaryStats &summary)
+    {
+        TimeSeries t(std::move(series_name), stride);
+        t.counter = sample_counter;
+        t.ticks = std::move(tick_data);
+        t.values = std::move(value_data);
+        t.stats = summary;
+        return t;
+    }
+    /** @} */
+
+    /**
      * Resample to a fixed number of points by averaging buckets;
      * handy for printing compact trace tables in benches.
      */

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/report.hh"
+#include "core/run_spec.hh"
 #include "core/runner.hh"
 #include "exec/parallel_runner.hh"
 
@@ -95,6 +97,33 @@ TEST(Runner, AdaptiveSavesEnergyOnIdleFpDomain)
         runComparison({"adpcm_enc"}, {ControllerKind::Adaptive}, opts);
     ASSERT_EQ(rows.size(), 1u);
     EXPECT_GT(rows[0].vsBaseline.energySavings, 0.0);
+}
+
+TEST(RunnerShims, LegacyOverloadsMatchRunSpec)
+{
+    // The deprecated overload family must stay a zero-cost veneer:
+    // byte-identical artifacts to the canonical run(RunSpec) path,
+    // including the rendered stats dump.
+    RunOptions opts = quickOpts();
+    opts.collectStats = true;
+
+    const SimResult legacy =
+        runBenchmark("adpcm_enc", ControllerKind::Adaptive, opts);
+    const SimResult canonical =
+        run(schemeSpec("adpcm_enc", ControllerKind::Adaptive, opts));
+    EXPECT_EQ(resultCsvRow(legacy), resultCsvRow(canonical));
+    EXPECT_EQ(resultJson(legacy), resultJson(canonical));
+    EXPECT_EQ(legacy.statsText, canonical.statsText);
+
+    const SimResult legacyMcd = runMcdBaseline("adpcm_enc", opts, 3);
+    RunSpec mcdSpec = mcdBaselineSpec("adpcm_enc", opts);
+    mcdSpec.seed = 3;
+    EXPECT_EQ(resultCsvRow(legacyMcd), resultCsvRow(run(mcdSpec)));
+
+    const SimResult legacySync =
+        runSynchronousBaseline("adpcm_enc", opts);
+    EXPECT_EQ(resultCsvRow(legacySync),
+              resultCsvRow(run(syncBaselineSpec("adpcm_enc", opts))));
 }
 
 TEST(Runner, SeedChangesWorkload)

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""End-to-end correctness check for the run cache and campaign layer.
+
+Drives the bench_campaign harness through every way a comparison table
+can be produced and requires all of them to be byte-identical:
+
+  cold    --cache=readwrite into an empty cache (everything executes)
+  warm    same invocation again (everything must be served from cache)
+  off     --cache=off (the cache layer fully out of the loop)
+  merged  three --shard i/3 invocations into a second empty cache,
+          manifests combined with --merge
+
+Any divergence means a cached result is not byte-identical to a
+computed one — the one property the whole layer rests on. The warm
+pass must also report hits for every run: a silent miss would make
+"resumable" quietly mean "recomputed".
+
+Usage:
+  check_cache_correctness.py --run <path-to-bench_campaign>
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+SUMMARY_RE = re.compile(
+    r"campaign: (\d+) runs total, (\d+) in shard (\d+)/(\d+) "
+    r"\((\d+) executed, (\d+) cached, (\d+) failed\)")
+CACHE_HITS_RE = re.compile(r"cache: (\d+) hits")
+
+
+def run(binary, args, env):
+    proc = subprocess.run([binary] + args, capture_output=True,
+                          text=True, env=env)
+    if proc.returncode != 0:
+        print(f"FAILED: {' '.join(args)} exited {proc.returncode}",
+              file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        sys.exit(1)
+    return proc
+
+
+def summary(proc):
+    m = SUMMARY_RE.search(proc.stderr)
+    if not m:
+        print("FAILED: no campaign summary on stderr", file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        sys.exit(1)
+    keys = ("total", "in_shard", "shard_index", "shard_count",
+            "executed", "cached", "failed")
+    return dict(zip(keys, map(int, m.groups())))
+
+
+def read(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--run", required=True,
+                        help="path to the bench_campaign binary")
+    parser.add_argument("--insts", default="4000",
+                        help="instructions per run (MCDSIM_INSTS)")
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    env["MCDSIM_INSTS"] = args.insts
+    env.pop("MCDSIM_CACHE_DIR", None)
+
+    base = ["--schemes", "adaptive", "--jobs", "4"]
+
+    with tempfile.TemporaryDirectory(prefix="mcdsim-cachecheck-") as tmp:
+        cache = os.path.join(tmp, "cache")
+        shard_cache = os.path.join(tmp, "shard-cache")
+        csv = lambda name: os.path.join(tmp, name + ".csv")
+
+        cold = summary(run(args.run, base + [
+            "--cache=readwrite", "--cache-dir", cache,
+            "--report", csv("cold")], env))
+        if cold["executed"] != cold["total"] or cold["failed"]:
+            print(f"FAILED: cold pass expected to execute everything: "
+                  f"{cold}", file=sys.stderr)
+            return 1
+
+        warm = summary(run(args.run, base + [
+            "--cache=readwrite", "--cache-dir", cache,
+            "--report", csv("warm")], env))
+        if warm["cached"] != warm["total"] or warm["executed"] != 0:
+            print(f"FAILED: warm pass must be 100% cache hits: {warm}",
+                  file=sys.stderr)
+            return 1
+
+        run(args.run, base + ["--cache=off", "--report", csv("off")],
+            env)
+
+        manifests = []
+        for i in (1, 2, 3):
+            manifest = os.path.join(tmp, f"m{i}.txt")
+            part = summary(run(args.run, base + [
+                "--cache=readwrite", "--cache-dir", shard_cache,
+                "--shard", f"{i}/3", "--manifest", manifest], env))
+            if part["in_shard"] >= part["total"] or part["failed"]:
+                print(f"FAILED: shard {i}/3 ran a bad slice: {part}",
+                      file=sys.stderr)
+                return 1
+            manifests.append(manifest)
+        merge_proc = run(args.run, base + [
+            "--cache=read", "--cache-dir", shard_cache,
+            "--merge", ",".join(manifests),
+            "--report", csv("merged")], env)
+        merged = summary(merge_proc)
+        # The summary reports provenance (each run executed in its
+        # shard); the reload from the shared cache shows up as hits.
+        hits = CACHE_HITS_RE.search(merge_proc.stderr)
+        if (merged["in_shard"] != merged["total"] or merged["failed"]
+                or not hits or int(hits.group(1)) != merged["total"]):
+            print(f"FAILED: merge must reload every run from the "
+                  f"shard cache: {merged}", file=sys.stderr)
+            sys.stderr.write(merge_proc.stderr)
+            return 1
+
+        reference = read(csv("cold"))
+        if not reference.strip():
+            print("FAILED: cold report is empty", file=sys.stderr)
+            return 1
+        for name in ("warm", "off", "merged"):
+            if read(csv(name)) != reference:
+                print(f"FAILED: {name} report differs from the cold "
+                      f"report", file=sys.stderr)
+                return 1
+
+        print(f"cache correctness OK: {cold['total']} runs, "
+              f"cold == warm == off == 3-shard-merged "
+              f"({len(reference)} bytes)")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,15 @@ Rules (applied to src/**/*.{hh,cc}):
                     runs interleave whole lines and tests can assert
                     on a single choke point.
 
+One more rule applies to examples/ and bench/ (never to src/):
+
+  facade-only       The only quoted includes allowed are the facade
+                    header "core/mcdsim.hh" (and "bench_common.hh"
+                    inside bench/). Internal headers are not API:
+                    deep includes pin downstream code to the layout
+                    of src/ and dodge the deprecation path the facade
+                    provides.
+
 Suppress a finding with a trailing  // lint:allow(rule-name)  comment.
 
 Usage:
@@ -264,6 +273,23 @@ def check_raw_stderr(relpath, lines):
                 break
 
 
+QUOTED_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def check_facade_only(relpath, lines):
+    allowed = {"core/mcdsim.hh"}
+    if relpath.startswith("bench/"):
+        allowed.add("bench_common.hh")
+    for lineno, line in lines:
+        m = QUOTED_INCLUDE_RE.search(line)
+        if m and m.group(1) not in allowed:
+            yield (lineno,
+                   f"deep include \"{m.group(1)}\": examples/ and bench/ "
+                   "see the simulator only through the facade header "
+                   "core/mcdsim.hh (bench/ may also include "
+                   "bench_common.hh); internal headers are not API")
+
+
 RULES = [
     ("no-wallclock", check_wallclock),
     ("no-pointer-keyed-unordered", check_pointer_keyed),
@@ -283,11 +309,18 @@ def lint_file(relpath, text):
         for m in ALLOW_RE.finditer(raw):
             allowed.setdefault(idx, set()).add(m.group(1))
 
-    stripped = strip_comments_and_strings(text)
-    lines = list(enumerate(stripped.splitlines(), 1))
+    if relpath.startswith(("examples/", "bench/")):
+        # Facade enforcement only, and on raw lines: include paths are
+        # string literals, which stripping would blank out.
+        rules = [("facade-only", check_facade_only)]
+        lines = list(enumerate(raw_lines, 1))
+    else:
+        rules = RULES
+        stripped = strip_comments_and_strings(text)
+        lines = list(enumerate(stripped.splitlines(), 1))
 
     findings = []
-    for rule, checker in RULES:
+    for rule, checker in rules:
         for lineno, message in checker(relpath, lines):
             if rule in allowed.get(lineno, ()):
                 continue
@@ -295,19 +328,27 @@ def lint_file(relpath, text):
     return findings
 
 
+LINT_TREES = [
+    ("src", SRC_EXTENSIONS),
+    ("examples", (".cpp", ".cc", ".hh")),
+    ("bench", (".cpp", ".cc", ".hh")),
+]
+
+
 def lint_tree(root):
-    src = os.path.join(root, "src")
     findings = []
-    for dirpath, _, filenames in os.walk(src):
-        for fn in sorted(filenames):
-            if not fn.endswith(SRC_EXTENSIONS):
-                continue
-            path = os.path.join(dirpath, fn)
-            relpath = os.path.relpath(path, root).replace(os.sep, "/")
-            with open(path, encoding="utf-8") as f:
-                text = f.read()
-            for rule, lineno, message in lint_file(relpath, text):
-                findings.append((relpath, lineno, rule, message))
+    for tree, extensions in LINT_TREES:
+        top = os.path.join(root, tree)
+        for dirpath, _, filenames in os.walk(top):
+            for fn in sorted(filenames):
+                if not fn.endswith(extensions):
+                    continue
+                path = os.path.join(dirpath, fn)
+                relpath = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8") as f:
+                    text = f.read()
+                for rule, lineno, message in lint_file(relpath, text):
+                    findings.append((relpath, lineno, rule, message))
     return findings
 
 
@@ -350,6 +391,15 @@ SELF_TEST_CASES = [
      "#include <random>\nstd::random_device entropy;\n"),
     ("no-threading", "src/fault/bad14.cc",
      "#include <atomic>\nstd::atomic<long> injected{0};\n"),
+    # Deep includes from outside src/ bypass the facade.
+    ("facade-only", "examples/bad15.cpp",
+     "#include \"core/runner.hh\"\nint main() {}\n"),
+    ("facade-only", "bench/bad16.cc",
+     "#include \"bench_common.hh\"\n"
+     "#include \"campaign/run_cache.hh\"\n"),
+    # bench_common.hh is a bench/-only dispensation.
+    ("facade-only", "examples/bad17.cpp",
+     "#include \"bench_common.hh\"\nint main() {}\n"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -392,6 +442,19 @@ SELF_TEST_CLEAN = [
      "if (arm.rng[dom].chance(arm.spec->rate)) {\n"
      "    occ += arm.rng[dom].gaussian(0.0, arm.spec->amplitude);\n"
      "}\n"),
+    # The facade header and system includes are the whole sanctioned
+    # diet of an example; harnesses also get bench_common.hh. Harness
+    # code is exempt from the src/ rules (it legitimately prints to
+    # stderr and measures wall time).
+    ("examples/good_example.cpp",
+     "#include \"core/mcdsim.hh\"\n"
+     "#include <cstdio>\n"
+     "int main() { std::fprintf(stderr, \"hi\\n\"); }\n"),
+    ("bench/good_bench.cc",
+     "#include \"bench_common.hh\"\n"
+     "#include \"core/mcdsim.hh\"\n"
+     "#include <chrono>\n"
+     "auto t0 = std::chrono::steady_clock::now();\n"),
 ]
 
 

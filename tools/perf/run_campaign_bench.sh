@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Build the release campaign driver and record the cold-vs-warm cache
+# timing into BENCH_campaign.json at the repo root.
+#
+# Usage: tools/perf/run_campaign_bench.sh [jobs]
+#   jobs  worker threads for the cold pass (default: all cores)
+#
+# Methodology (see EXPERIMENTS.md "Cold-cache reproducibility"): the
+# full evaluation sweep runs twice against the same fresh cache
+# directory — cold (every run simulated, results stored) and warm
+# (every run served from the cache). bench_campaign exits non-zero
+# unless the warm pass hit on 100% of runs, so a committed
+# BENCH_campaign.json also certifies the cache actually resumed the
+# campaign rather than quietly recomputing it.
+
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/../.." && pwd)
+build_dir="$repo_root/build-perf"
+jobs="${1:-}"
+
+cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
+    -DMCDSIM_WERROR=OFF >/dev/null
+cmake --build "$build_dir" --target bench_campaign -j "$(nproc)" \
+    >/dev/null
+
+args=()
+if [[ -n "$jobs" ]]; then
+    args+=(--jobs "$jobs")
+fi
+
+cache_dir=$(mktemp -d -t mcdsim-campaign-bench.XXXXXX)
+trap 'rm -rf "$cache_dir"' EXIT
+
+"$build_dir/bench/bench_campaign" "${args[@]}" \
+    --cache=readwrite --cache-dir "$cache_dir" \
+    --bench-json "$repo_root/BENCH_campaign.json"
+echo "wrote $repo_root/BENCH_campaign.json:"
+cat "$repo_root/BENCH_campaign.json"
